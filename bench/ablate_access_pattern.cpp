@@ -1,0 +1,87 @@
+// Ablation (paper's future work): the effect of memory access pattern on SP
+// effectiveness.
+//
+// Sweeps the synthetic workload's pattern mix from hardware-prefetcher-
+// friendly (sequential/strided heavy) to irregular-heavy (pointer-chase
+// style) and reports: the pattern classifier's verdicts, SP's speedup at a
+// within-bound distance, and the speedup with hardware prefetchers alone —
+// showing SP's headroom tracks the irregular fraction.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "spf/profile/pattern.hpp"
+#include "spf/workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+  bench::fail_on_unknown_flags(flags);
+
+  std::cout << "== Ablation: access pattern vs SP effectiveness ==\n"
+            << "L2 " << scale.l2.to_string() << "\n\n";
+
+  struct Mix {
+    const char* name;
+    std::uint32_t seq;
+    std::uint32_t strided;
+    std::uint32_t random;
+  };
+  const Mix mixes[] = {
+      {"sequential-heavy", 12, 2, 2},
+      {"strided-heavy", 2, 12, 2},
+      {"balanced", 5, 5, 6},
+      {"irregular-heavy", 2, 2, 12},
+      {"pure pointer-chase", 0, 0, 16},
+  };
+
+  Table t({"mix", "irregular frac", "hw-pf alone speedup", "SP speedup",
+           "SP dTmiss(%)", "pollution"});
+  for (const Mix& mix : mixes) {
+    SyntheticConfig wcfg;
+    wcfg.iterations = scale.paper ? 120000 : 24000;
+    wcfg.sequential_lines = mix.seq;
+    wcfg.strided_reads = mix.strided;
+    wcfg.random_reads = mix.random;
+    wcfg.random_footprint_lines = scale.l2.size_bytes() / 64 * 4;
+    const SyntheticWorkload w(wcfg);
+    const TraceBuffer trace = w.emit_trace();
+
+    const PatternReport patterns = classify_patterns(trace);
+
+    const DistanceBound bound =
+        estimate_distance_bound(trace, w.invocation_starts(), scale.l2);
+    SpExperimentConfig exp;
+    exp.sim.l2 = scale.l2;
+    exp.params =
+        SpParams::from_distance_rp(std::max(1u, bound.upper_limit / 2), 0.5);
+
+    // Hardware prefetchers alone: hw-on vs hw-off, no helper.
+    SpExperimentConfig hw_off = exp;
+    hw_off.baseline_hw_prefetch = false;
+    const SpRunSummary no_pf = run_original(trace, hw_off);
+    const SpRunSummary hw_only = run_original(trace, exp);
+    const double hw_speedup = static_cast<double>(no_pf.runtime) /
+                              static_cast<double>(hw_only.runtime);
+
+    // SP on top of hardware prefetchers.
+    const SpComparison cmp = run_sp_experiment(trace, exp);
+
+    t.row()
+        .add(mix.name)
+        .add(patterns.irregular_fraction, 2)
+        .add(hw_speedup, 3)
+        .add(1.0 / cmp.norm_runtime(), 3)
+        .add(100.0 * cmp.delta_totally_miss(), 1)
+        .add(cmp.sp.pollution.total_pollution());
+    std::cerr << ".";
+  }
+  std::cerr << "\n";
+  bench::emit(t, scale);
+
+  std::cout << "\nShape check: hardware prefetchers capture the sequential/"
+               "strided mixes, leaving\nSP little to add; as the irregular "
+               "fraction grows, hw speedup fades and SP's\nspeedup takes "
+               "over — the regime the paper targets (LDS traversal).\n";
+  return 0;
+}

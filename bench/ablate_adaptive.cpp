@@ -1,0 +1,89 @@
+// Ablation: feedback-directed distance vs static distances.
+//
+// Compares, on EM3D: (a) the static within-bound distance the paper's method
+// picks, (b) a static far-too-large distance, (c) the feedback controller
+// started from that same bad distance. The controller should walk back into
+// the healthy regime and land near the static-good configuration without any
+// profiling pass.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "spf/core/adaptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+  bench::fail_on_unknown_flags(flags);
+
+  Em3dWorkload workload(bench::em3d_config(scale));
+  const TraceBuffer trace = workload.emit_trace();
+  const DistanceBound bound = estimate_distance_bound(
+      trace, workload.invocation_starts(), scale.l2);
+  const std::uint32_t good = std::max(1u, bound.upper_limit / 2);
+  const std::uint32_t bad = bound.upper_limit * 8;
+  const std::uint32_t interval = 1000;
+
+  std::cout << "== Ablation: adaptive distance vs static (EM3D) ==\n"
+            << "L2 " << scale.l2.to_string() << ", " << bound.to_string()
+            << ", intervals of " << interval << " iterations\n\n";
+
+  // All three configurations run the same interval-chunked emulation so cold
+  // -start effects cancel.
+  SpExperimentConfig base;
+  base.sim.l2 = scale.l2;
+
+  auto run_static = [&](std::uint32_t distance) {
+    AdaptiveConfig frozen;
+    frozen.min_distance = distance;
+    frozen.max_distance = distance;
+    frozen.initial_distance = distance;
+    return run_adaptive_experiment(trace, base, frozen, interval);
+  };
+
+  AdaptiveConfig acfg;
+  acfg.min_distance = 1;
+  acfg.max_distance = bad;
+  acfg.initial_distance = bad;
+  acfg.increase_step = std::max(1u, good / 8);
+
+  struct Entry {
+    std::string name;
+    AdaptiveRunResult result;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"static good (bound/2 = " + std::to_string(good) + ")",
+                     run_static(good)});
+  std::cerr << ".";
+  entries.push_back({"static bad (8x bound = " + std::to_string(bad) + ")",
+                     run_static(bad)});
+  std::cerr << ".";
+  entries.push_back({"adaptive (start at 8x bound)",
+                     run_adaptive_experiment(trace, base, acfg, interval)});
+  std::cerr << ".\n";
+
+  Table t({"configuration", "total runtime (cycles)", "totally misses",
+           "pollution", "final distance"});
+  for (const Entry& e : entries) {
+    t.row()
+        .add(e.name)
+        .add(static_cast<std::uint64_t>(e.result.aggregate.runtime))
+        .add(e.result.aggregate.totally_misses)
+        .add(e.result.aggregate.pollution.total_pollution())
+        .add(static_cast<std::uint64_t>(e.result.final_distance()));
+  }
+  bench::emit(t, scale);
+
+  std::ostringstream traj;
+  for (std::size_t i = 0; i < entries.back().result.distance_trajectory.size();
+       ++i) {
+    if (i) traj << " ";
+    traj << entries.back().result.distance_trajectory[i];
+  }
+  std::cout << "\nadaptive distance trajectory: " << traj.str() << "\n"
+            << "\nShape check: the controller walks down out of the polluting "
+               "regime within a few\nintervals and ends between the static "
+               "configurations, far closer to the good one.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: sensitivity of SP and of the distance bound to the memory
+// system. The Set Affinity bound is purely *spatial* (blocks per set), so it
+// should not move with memory latency or bandwidth — but SP's payoff and the
+// cost of violating the bound should both scale with memory pressure.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+  bench::fail_on_unknown_flags(flags);
+
+  Em3dWorkload workload(bench::em3d_config(scale));
+  const TraceBuffer trace = workload.emit_trace();
+  const DistanceBound bound = estimate_distance_bound(
+      trace, workload.invocation_starts(), scale.l2);
+  const std::uint32_t good = std::max(1u, bound.upper_limit / 2);
+  const std::uint32_t bad = bound.upper_limit * 8;
+
+  std::cout << "== Ablation: memory latency/bandwidth sensitivity (EM3D) ==\n"
+            << "L2 " << scale.l2.to_string() << ", " << bound.to_string()
+            << "\n\n";
+
+  struct MemPoint {
+    const char* name;
+    Cycle latency;
+    Cycle interval;
+  };
+  const MemPoint points[] = {
+      {"fast DRAM, wide bus", 150, 4},
+      {"baseline", 300, 8},
+      {"slow DRAM", 600, 8},
+      {"narrow bus", 300, 24},
+      {"slow and narrow", 600, 24},
+  };
+
+  Table t({"memory", "latency", "issue interval", "SP speedup (within)",
+           "SP speedup (beyond)", "penalty of violating bound (%)"});
+  for (const MemPoint& mp : points) {
+    SpExperimentConfig exp;
+    exp.sim.l2 = scale.l2;
+    exp.sim.memory.service_latency = mp.latency;
+    exp.sim.memory.issue_interval = mp.interval;
+
+    const SpRunSummary baseline = run_original(trace, exp);
+    auto speedup_at = [&](std::uint32_t distance) {
+      exp.params = SpParams::from_distance_rp(distance, 0.5);
+      const SpRunSummary sp = run_sp_once(trace, exp);
+      return static_cast<double>(baseline.runtime) /
+             static_cast<double>(sp.runtime);
+    };
+    const double s_good = speedup_at(good);
+    const double s_bad = speedup_at(bad);
+    t.row()
+        .add(mp.name)
+        .add(static_cast<std::uint64_t>(mp.latency))
+        .add(static_cast<std::uint64_t>(mp.interval))
+        .add(s_good, 3)
+        .add(s_bad, 3)
+        .add(100.0 * (s_good - s_bad) / s_good, 1);
+    std::cerr << ".";
+  }
+  std::cerr << "\n";
+  bench::emit(t, scale);
+
+  std::cout << "\nShape check: the bound itself is memory-independent (same "
+               "good/bad distances\nthroughout); SP's speedup and the cost of "
+               "violating the bound both grow with\nmemory latency, while a "
+               "narrow bus caps how much prefetching can overlap at all.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared scaffolding for the reproduction harnesses.
+//
+// Every bench binary runs argument-free at a CI-friendly scale and accepts:
+//   --scale=paper      full-size inputs (paper Table II)
+//   --l2=<bytes>       shared L2 size (default 1 MiB at CI scale, 4 MiB at
+//                      paper scale — 16-way, 64 B lines either way)
+//   --csv              emit CSV instead of the aligned table
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "spf/common/cli.hpp"
+#include "spf/common/csv.hpp"
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/profile/calr.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace spf::bench {
+
+struct Scale {
+  bool paper = false;
+  CacheGeometry l2 = CacheGeometry(1 << 20, 16, 64);
+  bool csv = false;
+};
+
+inline Scale parse_scale(const CliFlags& flags) {
+  Scale s;
+  s.paper = flags.get("scale", "ci") == "paper";
+  const auto l2_bytes = static_cast<std::uint64_t>(
+      flags.get_int("l2", s.paper ? (4 << 20) : (1 << 20)));
+  s.l2 = CacheGeometry(l2_bytes, 16, 64);
+  s.csv = flags.get_bool("csv", false);
+  return s;
+}
+
+inline void fail_on_unknown_flags(const CliFlags& flags) {
+  const auto unknown = flags.unconsumed();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flags:";
+    for (const auto& f : unknown) std::cerr << " --" << f;
+    std::cerr << "\n";
+    std::exit(2);
+  }
+}
+
+inline void emit(const Table& table, const Scale& scale) {
+  if (scale.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+// Workload configurations at the two scales. CI configs preserve the paper's
+// qualitative Set Affinity ordering (EM3D << MST <= MCF) against the chosen
+// L2 (see DESIGN.md §5).
+inline Em3dConfig em3d_config(const Scale& s) {
+  if (s.paper) return Em3dConfig::paper_scale();
+  Em3dConfig c;
+  c.nodes = 20000;
+  c.arity = 64;
+  c.passes = 1;
+  return c;
+}
+
+inline McfConfig mcf_config(const Scale& s) {
+  if (s.paper) return McfConfig::paper_scale();
+  McfConfig c;
+  c.nodes = 8000;
+  c.arcs = 48000;
+  c.passes = 3;
+  return c;
+}
+
+inline MstConfig mst_config(const Scale& s) {
+  if (s.paper) return MstConfig::paper_scale();
+  MstConfig c;
+  c.vertices = 1200;
+  c.degree = 64;
+  c.buckets = 128;
+  return c;
+}
+
+struct SweepPoint {
+  std::uint32_t distance = 0;
+  SpComparison cmp;
+};
+
+/// Runs one baseline and one SP run per distance (shared baseline).
+inline std::vector<SweepPoint> distance_sweep(
+    const TraceBuffer& trace, const std::vector<std::uint32_t>& distances,
+    const Scale& scale, double rp = 0.5) {
+  SpExperimentConfig cfg;
+  cfg.sim.l2 = scale.l2;
+  std::vector<SweepPoint> points;
+  const SpRunSummary baseline = run_original(trace, cfg);
+  for (std::uint32_t d : distances) {
+    cfg.params = SpParams::from_distance_rp(d, rp);
+    SweepPoint p;
+    p.distance = d;
+    p.cmp.original = baseline;
+    p.cmp.sp = run_sp_once(trace, cfg);
+    points.push_back(p);
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  return points;
+}
+
+/// Distances spanning both sides of the pollution bound, paper-figure style.
+inline std::vector<std::uint32_t> distances_around(std::uint32_t bound) {
+  std::vector<std::uint32_t> d;
+  for (double f : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const auto v = static_cast<std::uint32_t>(f * bound);
+    if (v >= 1 && (d.empty() || v != d.back())) d.push_back(v);
+  }
+  return d;
+}
+
+}  // namespace spf::bench

@@ -1,0 +1,65 @@
+// Shared implementation of the Figure 4/5/6 reproductions: per benchmark,
+// panel (a) — change of totally hits / totally misses / partially hits as a
+// percentage of the original run's memory accesses, and panel (b) —
+// normalized runtime, both against growing prefetch distance at RP = 0.5.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace spf::bench {
+
+struct BehaviorRefs {
+  /// Paper-reported peak magnitudes (fraction of original memory accesses).
+  double tmiss_eliminated = 0.0;
+  double phit_gained = 0.0;
+  std::string thit_note;
+};
+
+inline int run_behavior_figure(const std::string& figure,
+                               const std::string& name,
+                               const TraceBuffer& trace,
+                               const std::vector<std::uint32_t>& inv_starts,
+                               const BehaviorRefs& refs, const Scale& scale,
+                               const std::vector<std::uint32_t>* distances_opt =
+                                   nullptr) {
+  const DistanceBound bound = estimate_distance_bound(trace, inv_starts, scale.l2);
+
+  std::cout << "== " << figure << ": " << name
+            << " behavior change vs prefetch distance ==\n"
+            << "L2 " << scale.l2.to_string() << ", RP=0.5, "
+            << bound.to_string() << "\n\n";
+
+  const std::vector<std::uint32_t> distances =
+      distances_opt ? *distances_opt : distances_around(bound.upper_limit);
+  const auto points = distance_sweep(trace, distances, scale);
+
+  Table t({"prefetch distance", "vs bound", "dTotally_hit(%)",
+           "dTotally_miss(%)", "dPartially_hit(%)", "Normalized_Runtime",
+           "pollution events"});
+  for (const auto& p : points) {
+    t.row()
+        .add(static_cast<std::uint64_t>(p.distance))
+        .add(bound.allows(p.distance) ? "within" : "beyond")
+        .add(100.0 * p.cmp.delta_totally_hit(), 2)
+        .add(100.0 * p.cmp.delta_totally_miss(), 2)
+        .add(100.0 * p.cmp.delta_partially_hit(), 2)
+        .add(p.cmp.norm_runtime(), 3)
+        .add(p.cmp.sp.pollution.total_pollution());
+  }
+  emit(t, scale);
+
+  std::cout << "\nPaper reference for " << name << ": SP eliminates up to "
+            << 100.0 * refs.tmiss_eliminated
+            << "% of original memory accesses worth of totally misses and "
+               "raises partially hits by up to "
+            << 100.0 * refs.phit_gained << "%; " << refs.thit_note << "\n"
+            << "Shape check: totally-hit gains shrink (pollution) and "
+               "runtime climbs as distance grows beyond the bound.\n";
+  return 0;
+}
+
+}  // namespace spf::bench

@@ -1,0 +1,227 @@
+// Validation scoreboard: every qualitative claim this reproduction makes
+// about the paper, checked programmatically in one run. This is the
+// executable summary of EXPERIMENTS.md — if a code change breaks a shape,
+// this binary says which one.
+//
+// Runs at a compact scale (128 KB L2, small inputs) so the whole scoreboard
+// finishes in tens of seconds.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "spf/profile/invocations.hpp"
+#include "spf/sim/simulator.hpp"
+
+namespace {
+
+struct Check {
+  std::string claim;
+  bool pass = false;
+  std::string detail;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+  bench::fail_on_unknown_flags(flags);
+
+  const CacheGeometry l2(128 * 1024, 16, 64);
+  std::vector<Check> checks;
+  auto fmt2 = [](double v) { return format_fixed(v, 3); };
+
+  // ---- workloads and shared artifacts ---------------------------------
+  Em3dConfig ecfg;
+  ecfg.nodes = 4000;
+  ecfg.arity = 32;
+  ecfg.passes = 1;
+  Em3dWorkload em3d(ecfg);
+  const TraceBuffer em3d_trace = em3d.emit_trace();
+  const DistanceBound em3d_bound =
+      estimate_distance_bound(em3d_trace, em3d.invocation_starts(), l2);
+  std::cerr << ".";
+
+  McfConfig mcfg;
+  mcfg.nodes = 3000;
+  mcfg.arcs = 18000;
+  mcfg.passes = 2;
+  McfWorkload mcf(mcfg);
+  const TraceBuffer mcf_trace = mcf.emit_trace();
+  const DistanceBound mcf_bound =
+      estimate_distance_bound(mcf_trace, mcf.invocation_starts(), l2);
+  std::cerr << ".";
+
+  MstConfig mstc;
+  mstc.vertices = 500;
+  mstc.degree = 32;
+  mstc.buckets = 16;
+  MstWorkload mst(mstc);
+  const TraceBuffer mst_trace = mst.emit_trace();
+  const WorkloadSaResult mst_sa =
+      analyze_workload_sa(mst_trace, mst.invocation_starts(), l2);
+  std::cerr << ".";
+
+  auto sweep = [&](const TraceBuffer& trace, std::uint32_t distance,
+                   bool hw = true) {
+    SpExperimentConfig cfg;
+    cfg.sim.l2 = l2;
+    cfg.sim.hw_prefetch = hw;
+    cfg.baseline_hw_prefetch = hw;
+    cfg.params = SpParams::from_distance_rp(distance, 0.5);
+    const SpComparison cmp = run_sp_experiment(trace, cfg);
+    std::cerr << ".";
+    return cmp;
+  };
+
+  const std::uint32_t good = std::max(1u, em3d_bound.upper_limit / 2);
+  const std::uint32_t bad = em3d_bound.upper_limit * 8;
+  const SpComparison em3d_good = sweep(em3d_trace, good);
+  const SpComparison em3d_bad = sweep(em3d_trace, bad);
+
+  // ---- Table II: SA ordering ------------------------------------------
+  {
+    const auto e = em3d_bound.original_min_sa;
+    checks.push_back(Check{
+        "Table II: EM3D min SA is far below MCF's (ordering)",
+        e * 8 < mcf_bound.original_min_sa,
+        "em3d=" + std::to_string(e) +
+            " mcf=" + std::to_string(mcf_bound.original_min_sa)});
+    checks.push_back(Check{
+        "Table II: EM3D min SA is below MST's",
+        mst_sa.merged.any_saturated() && e * 2 < mst_sa.merged.min_sa(),
+        "em3d=" + std::to_string(e) + " mst=" +
+            std::to_string(mst_sa.merged.any_saturated()
+                               ? mst_sa.merged.min_sa()
+                               : 0)});
+  }
+
+  // ---- Figures 2/4: EM3D distance sensitivity -------------------------
+  checks.push_back(Check{
+      "Fig 2/4: SP within the bound beats the original run",
+      em3d_good.norm_runtime() < 0.95,
+      "norm_runtime=" + fmt2(em3d_good.norm_runtime())});
+  checks.push_back(Check{
+      "Fig 2/4: runtime degrades beyond the bound",
+      em3d_bad.norm_runtime() > em3d_good.norm_runtime() + 0.02,
+      fmt2(em3d_good.norm_runtime()) + " -> " + fmt2(em3d_bad.norm_runtime())});
+  checks.push_back(Check{
+      "Fig 4: totally-hit gains shrink beyond the bound",
+      em3d_bad.delta_totally_hit() < em3d_good.delta_totally_hit(),
+      fmt2(em3d_good.delta_totally_hit()) + " -> " +
+          fmt2(em3d_bad.delta_totally_hit())});
+  checks.push_back(Check{
+      "Fig 4: pollution grows with distance",
+      em3d_bad.sp.pollution.total_pollution() >
+          2 * em3d_good.sp.pollution.total_pollution(),
+      std::to_string(em3d_good.sp.pollution.total_pollution()) + " -> " +
+          std::to_string(em3d_bad.sp.pollution.total_pollution())});
+
+  // ---- Figure 5: MCF plateau ------------------------------------------
+  {
+    const SpComparison a = sweep(mcf_trace, mcf_bound.upper_limit / 4);
+    const SpComparison b = sweep(mcf_trace, mcf_bound.upper_limit / 2);
+    const SpComparison c = sweep(mcf_trace, mcf_bound.upper_limit * 4);
+    checks.push_back(Check{
+        "Fig 5: MCF runtime flat across the huge within-bound range",
+        std::abs(a.norm_runtime() - b.norm_runtime()) < 0.02,
+        fmt2(a.norm_runtime()) + " vs " + fmt2(b.norm_runtime())});
+    checks.push_back(Check{
+        "Fig 5: MCF collapses only past the SA scale",
+        c.norm_runtime() > b.norm_runtime() + 0.05,
+        fmt2(b.norm_runtime()) + " -> " + fmt2(c.norm_runtime())});
+  }
+
+  // ---- Figure 6: MST knee ----------------------------------------------
+  {
+    const SpComparison d5 = sweep(mst_trace, 5);
+    const SpComparison d30 = sweep(mst_trace, 30);
+    const SpComparison d100 = sweep(mst_trace, 100);
+    checks.push_back(Check{
+        "Fig 6: MST improves from tiny distances up to ~30",
+        d30.norm_runtime() < d5.norm_runtime(),
+        fmt2(d5.norm_runtime()) + " -> " + fmt2(d30.norm_runtime())});
+    checks.push_back(Check{
+        "Fig 6: MST flattens past ~30",
+        std::abs(d100.norm_runtime() - d30.norm_runtime()) < 0.03,
+        fmt2(d30.norm_runtime()) + " vs " + fmt2(d100.norm_runtime())});
+    checks.push_back(Check{
+        "Fig 6: MST partial hits shrink as distance grows",
+        d100.delta_partially_hit() < d5.delta_partially_hit(),
+        fmt2(d5.delta_partially_hit()) + " -> " +
+            fmt2(d100.delta_partially_hit())});
+  }
+
+  // ---- RP rule ----------------------------------------------------------
+  {
+    SpExperimentConfig cfg;
+    cfg.sim.l2 = l2;
+    const SpRunSummary baseline = run_original(em3d_trace, cfg);
+    cfg.params = SpParams::from_distance_rp(good, 0.5);
+    const SpRunSummary rp_half = run_sp_once(em3d_trace, cfg);
+    cfg.params = SpParams::from_distance_rp(good, 1.0);
+    const SpRunSummary rp_one = run_sp_once(em3d_trace, cfg);
+    std::cerr << ".";
+    checks.push_back(Check{
+        "RP rule: at CALR~0, RP=0.5 (skipping) beats RP=1 (conventional)",
+        rp_half.runtime < rp_one.runtime,
+        std::to_string(rp_half.runtime) + " vs " + std::to_string(rp_one.runtime) +
+            " (baseline " + std::to_string(baseline.runtime) + ")"});
+  }
+
+  // ---- Pollution case 3 needs hardware prefetchers ---------------------
+  {
+    const SpComparison hw_on = sweep(em3d_trace, bad, /*hw=*/true);
+    const SpComparison hw_off = sweep(em3d_trace, bad, /*hw=*/false);
+    checks.push_back(Check{
+        "Case 3 exists only with hardware prefetchers",
+        hw_on.sp.pollution.case3_hw_displaced > 0 &&
+            hw_off.sp.pollution.case3_hw_displaced == 0,
+        std::to_string(hw_on.sp.pollution.case3_hw_displaced) + " vs " +
+            std::to_string(hw_off.sp.pollution.case3_hw_displaced)});
+  }
+
+  // ---- Occupancy inflation (§III.A) ------------------------------------
+  {
+    SimConfig sim;
+    sim.l2 = l2;
+    sim.occupancy_sample_interval = 100000;
+    auto occupancy_at = [&](std::uint32_t distance) {
+      const SpParams params = SpParams::from_distance_rp(distance, 0.5);
+      const TraceBuffer helper = make_helper_trace(em3d_trace, params);
+      CmpSimulator simulator(sim);
+      const SimResult r = simulator.run({
+          CoreStream{.trace = &em3d_trace},
+          CoreStream{.trace = &helper,
+                     .origin = FillOrigin::kHelper,
+                     .sync = RoundSync{.leader = 0,
+                                       .round_iters = params.round()}},
+      });
+      std::cerr << ".";
+      return r.occupancy.mean_unused_prefetch_fraction();
+    };
+    const double occ_good = occupancy_at(good);
+    const double occ_bad = occupancy_at(bad);
+    checks.push_back(Check{
+        "III.A: unused-prefetch occupancy grows with distance",
+        occ_bad > occ_good * 1.5,
+        fmt2(occ_good) + " -> " + fmt2(occ_bad)});
+  }
+  std::cerr << "\n";
+
+  // ---- report -----------------------------------------------------------
+  std::cout << "== Shape validation scoreboard (L2 " << l2.to_string()
+            << ") ==\n\n";
+  Table t({"claim", "result", "measured"});
+  int failures = 0;
+  for (const Check& c : checks) {
+    t.row().add(c.claim).add(c.pass ? "PASS" : "FAIL").add(c.detail);
+    failures += c.pass ? 0 : 1;
+  }
+  bench::emit(t, scale);
+  std::cout << "\n" << (checks.size() - static_cast<std::size_t>(failures))
+            << "/" << checks.size() << " shape checks passed\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Example: dissecting shared-cache pollution. Runs a workload under SP at
+// several distances and breaks the damage down exactly the way the paper
+// defines it (§II.C): who evicted whom, and which of the three cases each
+// eviction falls into — plus where the wasted bandwidth went.
+#include <iostream>
+
+#include "spf/common/cli.hpp"
+#include "spf/common/csv.hpp"
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/sim/simulator.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace {
+
+std::unique_ptr<spf::Workload> make_workload(const std::string& name) {
+  if (name == "em3d") {
+    spf::Em3dConfig c;
+    c.nodes = 20000;
+    c.arity = 64;
+    c.passes = 1;
+    return std::make_unique<spf::Em3dWorkload>(c);
+  }
+  if (name == "mcf") {
+    spf::McfConfig c;
+    c.nodes = 8000;
+    c.arcs = 48000;
+    c.passes = 3;
+    return std::make_unique<spf::McfWorkload>(c);
+  }
+  if (name == "mst") {
+    spf::MstConfig c;
+    c.vertices = 1200;
+    c.degree = 64;
+    c.buckets = 128;
+    return std::make_unique<spf::MstWorkload>(c);
+  }
+  std::cerr << "unknown workload '" << name << "' (use em3d|mcf|mst)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const std::string name = flags.get("workload", "em3d");
+  const CacheGeometry l2(
+      static_cast<std::uint64_t>(flags.get_int("l2", 1 << 20)), 16, 64);
+
+  auto workload = make_workload(name);
+  const TraceBuffer trace = workload->emit_trace();
+  const DistanceBound bound =
+      estimate_distance_bound(trace, workload->invocation_starts(), l2);
+
+  std::cout << "== Pollution inspector: " << name << " on "
+            << l2.to_string() << " ==\n"
+            << bound.to_string() << "\n\n"
+            << "Pollution cases (paper II.C): a premature prefetch displaces\n"
+            << "  case 1: data the processor will reuse (detected at re-miss)\n"
+            << "  case 2: an unused helper-thread fill\n"
+            << "  case 3: an unused hardware-prefetcher fill\n\n";
+
+  Table t({"distance", "vs bound", "case1", "case2", "case3",
+           "% prefetch-caused evictions", "bus: demand", "bus: helper",
+           "bus: hw", "mean queue delay"});
+  for (double mult : {0.25, 1.0, 4.0, 8.0}) {
+    const auto d = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(mult * bound.upper_limit));
+    SpExperimentConfig exp;
+    exp.sim.l2 = l2;
+    exp.params = SpParams::from_distance_rp(d, 0.5);
+
+    const TraceBuffer helper = make_helper_trace(trace, exp.params);
+    CmpSimulator sim(exp.sim);
+    const SimResult r = sim.run({
+        CoreStream{.trace = &trace},
+        CoreStream{.trace = &helper,
+                   .origin = FillOrigin::kHelper,
+                   .sync = RoundSync{.leader = 0,
+                                     .round_iters = exp.params.round()}},
+    });
+
+    const auto& p = r.pollution;
+    const double pf_evict_pct =
+        r.pollution.total_evictions
+            ? 100.0 * static_cast<double>(p.prefetch_caused_evictions) /
+                  static_cast<double>(p.total_evictions)
+            : 0.0;
+    t.row()
+        .add(static_cast<std::uint64_t>(d))
+        .add(bound.allows(d) ? "within" : "beyond")
+        .add(p.case1_reuse_displaced)
+        .add(p.case2_helper_displaced)
+        .add(p.case3_hw_displaced)
+        .add(pf_evict_pct, 1)
+        .add(r.memory.requests_by_origin[0])
+        .add(r.memory.requests_by_origin[1])
+        .add(r.memory.requests_by_origin[2])
+        .add(r.memory.mean_queue_delay(), 1);
+    std::cerr << ".";
+  }
+  std::cerr << "\n";
+  t.print(std::cout);
+
+  // Spatial view at the worst distance: which sets take the damage.
+  {
+    const auto d = static_cast<std::uint32_t>(8.0 * bound.upper_limit);
+    SpExperimentConfig exp;
+    exp.sim.l2 = l2;
+    exp.params = SpParams::from_distance_rp(std::max(1u, d), 0.5);
+    const TraceBuffer helper = make_helper_trace(trace, exp.params);
+    CmpSimulator sim(exp.sim);
+    const SimResult r = sim.run({
+        CoreStream{.trace = &trace},
+        CoreStream{.trace = &helper,
+                   .origin = FillOrigin::kHelper,
+                   .sync = RoundSync{.leader = 0,
+                                     .round_iters = exp.params.round()}},
+    });
+    std::cout << "\nAt distance " << d << ": " << r.polluted_set_count << "/"
+              << l2.num_sets() << " sets polluted; worst sets:";
+    for (const auto& [set, count] : r.top_polluted_sets) {
+      std::cout << " " << set << "(" << count << ")";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nReading the table: beyond the bound, cases 2/3 explode "
+               "(prefetches evicting\nprefetches) and the memory channel "
+               "carries more helper traffic for less benefit.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every table/figure and
+# ablation. Outputs land in test_output.txt / bench_output.txt at the repo
+# root. Pass --paper to ALSO rerun the headline experiments at Table II input
+# sizes (adds ~10-30 minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$b" in *.cmake) continue ;; esac
+    echo "=============================================================="
+    echo "== $b"
+    echo "=============================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+if [[ "${1:-}" == "--paper" ]]; then
+  {
+    for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior; do
+      echo "=============================================================="
+      echo "== build/bench/$b --scale=paper"
+      echo "=============================================================="
+      "build/bench/$b" --scale=paper
+      echo
+    done
+  } 2>&1 | tee bench_output_paper.txt
+fi

@@ -1,0 +1,131 @@
+#include "spf/cache/cache.hpp"
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+Cache::Cache(const CacheGeometry& geometry, ReplacementKind policy,
+             std::uint64_t seed)
+    : geometry_(geometry),
+      policy_(make_replacement(policy, geometry.num_sets(), geometry.ways(), seed)),
+      lines_(geometry.num_sets() * geometry.ways()) {}
+
+CacheLine* Cache::find(LineAddr line) noexcept {
+  const std::uint64_t set = geometry_.set_of_line(line);
+  CacheLine* base = &lines_[set * geometry_.ways()];
+  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
+    if (base[w].valid && base[w].line == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const CacheLine* Cache::find(LineAddr line) const noexcept {
+  return const_cast<Cache*>(this)->find(line);
+}
+
+const CacheLine* Cache::probe(LineAddr line) const noexcept { return find(line); }
+
+bool Cache::access(LineAddr line, AccessKind kind, Cycle /*now*/) {
+  ++stats_.lookups;
+  CacheLine* hit = find(line);
+  if (hit == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  const std::uint64_t set = geometry_.set_of_line(line);
+  const auto way = static_cast<std::uint32_t>(hit - &lines_[set * geometry_.ways()]);
+  policy_->on_hit(set, way);
+  if (kind != AccessKind::kPrefetch) hit->used_since_fill = true;
+  if (kind == AccessKind::kWrite) hit->dirty = true;
+  return true;
+}
+
+std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId core,
+                                    Cycle now) {
+  const std::uint64_t set = geometry_.set_of_line(line);
+  CacheLine* base = &lines_[set * geometry_.ways()];
+
+  // Refresh in place if the line already landed (racing fills): promote its
+  // recency like a hit would.
+  if (CacheLine* present = find(line)) {
+    const auto way =
+        static_cast<std::uint32_t>(present - &lines_[set * geometry_.ways()]);
+    policy_->on_hit(set, way);
+    // A demand fill upgrades a prefetch-origin line: the processor now
+    // genuinely wants it. A prefetch completing onto a demand-filled line
+    // must not *downgrade* provenance.
+    if (origin == FillOrigin::kDemand) {
+      present->used_since_fill = true;
+    }
+    return std::nullopt;
+  }
+
+  ++stats_.fills;
+  std::uint32_t way = geometry_.ways();
+  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
+    if (!base[w].valid) {
+      way = w;
+      break;
+    }
+  }
+
+  std::optional<Eviction> evicted;
+  if (way == geometry_.ways()) {
+    way = policy_->victim(set);
+    SPF_DEBUG_ASSERT(way < geometry_.ways(), "policy returned bad way");
+    CacheLine& victim = base[way];
+    ++stats_.evictions;
+    if (!victim.used_since_fill) {
+      if (victim.origin == FillOrigin::kHelper) ++stats_.evicted_unused_helper;
+      if (victim.origin == FillOrigin::kHardware) ++stats_.evicted_unused_hw;
+    }
+    evicted = Eviction{victim, line, origin, now};
+  }
+
+  base[way] = CacheLine{
+      .line = line,
+      .valid = true,
+      .dirty = false,
+      .origin = origin,
+      .used_since_fill = origin == FillOrigin::kDemand,
+      .filler_core = core,
+      .fill_time = now,
+  };
+  policy_->on_fill(set, way);
+  return evicted;
+}
+
+bool Cache::mark_dirty(LineAddr line) {
+  if (CacheLine* hit = find(line)) {
+    hit->dirty = true;
+    return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(LineAddr line) {
+  if (CacheLine* hit = find(line)) {
+    *hit = CacheLine{};
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t Cache::set_occupancy(std::uint64_t set) const {
+  SPF_ASSERT(set < geometry_.num_sets(), "set index out of range");
+  const CacheLine* base = &lines_[set * geometry_.ways()];
+  std::uint32_t n = 0;
+  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
+    if (base[w].valid) ++n;
+  }
+  return n;
+}
+
+void Cache::for_each_line(const std::function<void(const CacheLine&)>& fn) const {
+  for (const CacheLine& l : lines_) {
+    if (l.valid) fn(l);
+  }
+}
+
+}  // namespace spf

@@ -1,0 +1,127 @@
+// Set-associative cache model with per-line provenance metadata.
+//
+// The cache is a *state* model, not a timing model: lookup/fill/evict are
+// immediate. Timing (miss latency, MSHR occupancy, bandwidth) is layered on
+// by spf_mshr/spf_memsys/spf_sim. Keeping state and timing separate lets the
+// Set Affinity profiler reuse the state model stand-alone.
+//
+// Every line remembers who filled it (FillOrigin) and whether a demand access
+// touched it since the fill — exactly the metadata the paper's three cache
+// pollution cases are defined over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spf/cache/replacement.hpp"
+#include "spf/mem/geometry.hpp"
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+/// Metadata carried by each valid cache line.
+struct CacheLine {
+  LineAddr line = 0;
+  bool valid = false;
+  bool dirty = false;
+  /// Who caused this line's fill.
+  FillOrigin origin = FillOrigin::kDemand;
+  /// True once a demand (non-prefetch) access hits the line after its fill.
+  bool used_since_fill = false;
+  /// Core whose request filled the line.
+  CoreId filler_core = 0;
+  /// Simulated time of the fill.
+  Cycle fill_time = 0;
+};
+
+/// A line pushed out by a fill, annotated with its end-of-life metadata.
+struct Eviction {
+  CacheLine victim;
+  /// Line whose fill displaced the victim.
+  LineAddr replaced_by = 0;
+  FillOrigin replaced_by_origin = FillOrigin::kDemand;
+  Cycle when = 0;
+};
+
+/// Aggregate counters. Hit/miss here are *state* hits (line valid), i.e. the
+/// paper's "totally" classification before MSHR effects are applied.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+  /// Evictions whose victim was an unused prefetch, split by the victim's
+  /// origin (paper pollution cases 2 and 3 raw material).
+  std::uint64_t evicted_unused_helper = 0;
+  std::uint64_t evicted_unused_hw = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  Cache(const CacheGeometry& geometry, ReplacementKind policy,
+        std::uint64_t seed = 0x5eed);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+  Cache(Cache&&) = default;
+  Cache& operator=(Cache&&) = default;
+
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geometry_; }
+  [[nodiscard]] ReplacementKind policy() const noexcept { return policy_->kind(); }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  /// Side-effect-free lookup: returns the line if present, without touching
+  /// replacement state or counters.
+  [[nodiscard]] const CacheLine* probe(LineAddr line) const noexcept;
+
+  /// Reference the line. On a hit: updates replacement state, marks the line
+  /// used (for demand kinds), sets dirty on writes, and returns true. On a
+  /// miss: counts it and returns false (caller decides whether/when to fill).
+  bool access(LineAddr line, AccessKind kind, Cycle now);
+
+  /// Install `line`. If the set is full, evicts a victim and returns its
+  /// metadata. Filling a line that is already present just refreshes its
+  /// metadata (this happens when a prefetch completes after a demand fill
+  /// already installed the line).
+  std::optional<Eviction> fill(LineAddr line, FillOrigin origin, CoreId core,
+                               Cycle now);
+
+  /// Drop the line if present. Returns true if it was present.
+  bool invalidate(LineAddr line);
+
+  /// Set the dirty bit without touching replacement state (write-allocate
+  /// installs). Returns false if the line is not present.
+  bool mark_dirty(LineAddr line);
+
+  /// Number of valid lines currently in `set`.
+  [[nodiscard]] std::uint32_t set_occupancy(std::uint64_t set) const;
+
+  /// Visit every valid line (diagnostics / inspectors).
+  void for_each_line(const std::function<void(const CacheLine&)>& fn) const;
+
+ private:
+  struct WayRef {
+    std::uint64_t set;
+    std::uint32_t way;
+  };
+
+  [[nodiscard]] CacheLine* find(LineAddr line) noexcept;
+  [[nodiscard]] const CacheLine* find(LineAddr line) const noexcept;
+
+  CacheGeometry geometry_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<CacheLine> lines_;  // num_sets * ways, row-major by set
+  CacheStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,55 @@
+// Replacement policies for the set-associative cache model.
+//
+// The paper's testbed L2 is (pseudo-)LRU; the ablation bench
+// `ablate_replacement` checks that the Set-Affinity-derived distance bound is
+// robust across policies, so we provide LRU, tree-PLRU, FIFO, Random and
+// SRRIP behind one interface.
+//
+// A policy sees way-level events for one cache (all sets) and answers victim
+// queries. State is owned by the policy, indexed by (set, way).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "spf/common/rng.hpp"
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+enum class ReplacementKind : std::uint8_t {
+  kLru,
+  kTreePlru,
+  kFifo,
+  kRandom,
+  kSrrip,
+};
+
+[[nodiscard]] const char* to_string(ReplacementKind k) noexcept;
+/// Parses "lru" / "plru" / "fifo" / "random" / "srrip" (case-sensitive).
+[[nodiscard]] ReplacementKind replacement_from_string(const std::string& s);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A line in (set, way) was referenced by a hit.
+  virtual void on_hit(std::uint64_t set, std::uint32_t way) = 0;
+  /// A new line was installed into (set, way).
+  virtual void on_fill(std::uint64_t set, std::uint32_t way) = 0;
+  /// Which way of `set` should be evicted next. Invalid ways are chosen by
+  /// the cache itself before the policy is consulted, so victim() may assume
+  /// the set is full.
+  [[nodiscard]] virtual std::uint32_t victim(std::uint64_t set) = 0;
+
+  [[nodiscard]] virtual ReplacementKind kind() const noexcept = 0;
+};
+
+/// Factory. `seed` feeds the Random policy's generator (ignored by others).
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                    std::uint64_t num_sets,
+                                                    std::uint32_t ways,
+                                                    std::uint64_t seed = 0x5eed);
+
+}  // namespace spf

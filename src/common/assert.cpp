@@ -1,0 +1,17 @@
+#include "spf/common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spf {
+
+void assert_fail(std::string_view expr, std::string_view file, int line,
+                 std::string_view msg) {
+  std::fprintf(stderr, "spf assertion failed: %.*s\n  at %.*s:%d\n  %.*s\n",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace spf

@@ -1,0 +1,101 @@
+#include "spf/common/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SPF_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  SPF_ASSERT(!rows_.empty(), "call row() before add()");
+  SPF_ASSERT(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+
+Table& Table::add(double v, int precision) { return add(format_fixed(v, precision)); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (auto w : widths) rule += w + 2;
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (char ch : cell) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      emit_cell(cells[c]);
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  print_csv(out);
+  return out.str();
+}
+
+}  // namespace spf

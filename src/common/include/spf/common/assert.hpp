@@ -1,0 +1,34 @@
+// Lightweight always-on assertion support.
+//
+// Simulator state invariants are cheap relative to the work they guard, so
+// SPF_ASSERT stays enabled in release builds; SPF_DEBUG_ASSERT compiles away
+// outside debug builds for per-access hot-path checks.
+#pragma once
+
+#include <string_view>
+
+namespace spf {
+
+/// Terminates with a diagnostic. Used by the assertion macros; call directly
+/// for unreachable code paths.
+[[noreturn]] void assert_fail(std::string_view expr, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace spf
+
+#define SPF_ASSERT(expr, msg)                                   \
+  do {                                                          \
+    if (!(expr)) [[unlikely]] {                                 \
+      ::spf::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                           \
+  } while (false)
+
+#ifndef NDEBUG
+#define SPF_DEBUG_ASSERT(expr, msg) SPF_ASSERT(expr, msg)
+#else
+#define SPF_DEBUG_ASSERT(expr, msg) \
+  do {                              \
+  } while (false)
+#endif
+
+#define SPF_UNREACHABLE(msg) ::spf::assert_fail("unreachable", __FILE__, __LINE__, (msg))

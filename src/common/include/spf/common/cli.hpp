@@ -1,0 +1,39 @@
+// Minimal --key=value flag parser for the bench/example binaries. Every
+// binary in bench/ must run with no arguments (CI sweeps `for b in bench/*`),
+// so all flags carry defaults; unknown flags are an error to catch typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spf {
+
+class CliFlags {
+ public:
+  /// Parses argv of the form --name=value or --name (boolean true).
+  /// Positional arguments are collected separately.
+  CliFlags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were parsed but never queried — call after all get()s to
+  /// reject typos. Returns the unknown names.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spf

@@ -1,0 +1,44 @@
+// Small table builder used by the benchmark harnesses to print both an
+// aligned human-readable table (what the paper's tables/figures report) and a
+// machine-readable CSV for replotting.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  /// Doubles render with a fixed number of fractional digits (default 4).
+  Table& add(double v, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned, padded text table.
+  void print(std::ostream& out) const;
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).
+  void print_csv(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v to `precision` fractional digits (fixed notation).
+std::string format_fixed(double v, int precision);
+
+}  // namespace spf

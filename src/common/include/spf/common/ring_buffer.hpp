@@ -1,0 +1,57 @@
+// Fixed-capacity ring buffer. Used by the burst sampler (bounded sample
+// windows) and the pollution tracker's eviction shadow (bounded recency
+// window) where unbounded growth would distort both memory use and results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    SPF_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Appends, overwriting the oldest element when full. Returns true if an
+  /// element was evicted (and copies it to *evicted when non-null).
+  bool push(const T& value, T* evicted = nullptr) {
+    bool dropped = false;
+    if (size_ == slots_.size()) {
+      if (evicted != nullptr) *evicted = slots_[head_];
+      head_ = (head_ + 1) % slots_.size();
+      --size_;
+      dropped = true;
+    }
+    slots_[(head_ + size_) % slots_.size()] = value;
+    ++size_;
+    return dropped;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+
+  /// i = 0 is the oldest element.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    SPF_DEBUG_ASSERT(i < size_, "ring buffer index out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spf

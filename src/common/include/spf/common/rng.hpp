@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for workload builders and
+// replacement policies. xoshiro256** is fast, high quality, and — unlike
+// std::mt19937 — has a compact state that copies cheaply, which matters when
+// every cache set carries its own stream for the Random policy.
+#pragma once
+
+#include <cstdint>
+
+namespace spf {
+
+/// SplitMix64: used to expand a single seed into xoshiro state. Also a fine
+/// standalone generator for hashing-style uses.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// UniformRandomBitGenerator interface so <random> distributions work.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spf

@@ -1,0 +1,83 @@
+// Streaming statistics used across the profiler and benchmark harnesses:
+// Welford running moments, bounded histograms, and percentile summaries of
+// Set Affinity distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spf {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket linear histogram over [lo, hi); out-of-range samples clamp to
+/// the edge buckets so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 16) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Exact order statistics over a materialized sample (used for Set Affinity
+/// distributions, which are small: one value per touched cache set).
+class QuantileSketch {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+  /// Nearest-rank quantile, q in [0,1].
+  [[nodiscard]] double quantile(double q);
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+}  // namespace spf

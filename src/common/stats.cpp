@@ -1,0 +1,120 @@
+#include "spf/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  SPF_ASSERT(hi > lo && buckets > 0, "histogram needs a positive range and buckets");
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target) {
+      const double frac = c > 0 ? (target - cum) / c : 0.0;
+      return bucket_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_rows) const {
+  std::ostringstream out;
+  const std::size_t step = std::max<std::size_t>(1, counts_.size() / max_rows);
+  for (std::size_t i = 0; i < counts_.size(); i += step) {
+    std::uint64_t merged = 0;
+    for (std::size_t j = i; j < std::min(i + step, counts_.size()); ++j) merged += counts_[j];
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(std::min(i + step, counts_.size()) - 1)
+        << "): " << merged << "\n";
+  }
+  return out.str();
+}
+
+double QuantileSketch::min() {
+  ensure_sorted();
+  SPF_ASSERT(!values_.empty(), "quantile of empty sketch");
+  return values_.front();
+}
+
+double QuantileSketch::max() {
+  ensure_sorted();
+  SPF_ASSERT(!values_.empty(), "quantile of empty sketch");
+  return values_.back();
+}
+
+double QuantileSketch::quantile(double q) {
+  ensure_sorted();
+  SPF_ASSERT(!values_.empty(), "quantile of empty sketch");
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size() - 1) + 0.5);
+  return values_[rank];
+}
+
+void QuantileSketch::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace spf

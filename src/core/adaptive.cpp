@@ -1,0 +1,128 @@
+#include "spf/core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+const char* to_string(AdaptiveAction a) noexcept {
+  switch (a) {
+    case AdaptiveAction::kHold: return "hold";
+    case AdaptiveAction::kIncrease: return "increase";
+    case AdaptiveAction::kDecrease: return "decrease";
+  }
+  return "?";
+}
+
+FeedbackDistanceController::FeedbackDistanceController(
+    const AdaptiveConfig& config)
+    : config_(config),
+      distance_(std::clamp(config.initial_distance, config.min_distance,
+                           config.max_distance)) {
+  SPF_ASSERT(config.min_distance >= 1, "distance must stay positive");
+  SPF_ASSERT(config.min_distance <= config.max_distance, "empty distance range");
+  SPF_ASSERT(config.increase_step >= 1, "increase step must be positive");
+}
+
+AdaptiveAction FeedbackDistanceController::observe(
+    const IntervalFeedback& interval) {
+  if (interval.l2_lookups == 0) return AdaptiveAction::kHold;
+  const double pollution_pm =
+      1000.0 * static_cast<double>(interval.pollution_events) /
+      static_cast<double>(interval.l2_lookups);
+  const std::uint64_t mem_acc =
+      interval.partially_hits + interval.totally_misses;
+  const double late = mem_acc ? static_cast<double>(interval.partially_hits) /
+                                    static_cast<double>(mem_acc)
+                              : 0.0;
+
+  if (pollution_pm > config_.pollution_high_per_mille &&
+      distance_ > config_.min_distance) {
+    distance_ = std::max(config_.min_distance, distance_ / 2);
+    ++decreases_;
+    return AdaptiveAction::kDecrease;
+  }
+  if (pollution_pm < config_.pollution_low_per_mille &&
+      late > config_.late_share && distance_ < config_.max_distance) {
+    distance_ = std::min(config_.max_distance, distance_ + config_.increase_step);
+    ++increases_;
+    return AdaptiveAction::kIncrease;
+  }
+  return AdaptiveAction::kHold;
+}
+
+std::string FeedbackDistanceController::to_string() const {
+  return "adaptive{distance=" + std::to_string(distance_) +
+         " +" + std::to_string(increases_) + "/-" + std::to_string(decreases_) +
+         "}";
+}
+
+namespace {
+
+/// Splits `trace` into contiguous chunks of `interval_iters` outer
+/// iterations, re-basing outer_iter inside each chunk.
+std::vector<TraceBuffer> split_by_iters(const TraceBuffer& trace,
+                                        std::uint32_t interval_iters) {
+  std::vector<TraceBuffer> chunks;
+  std::int64_t current_index = -1;
+  std::uint32_t chunk_base = 0;
+  for (const TraceRecord& r : trace) {
+    const std::uint32_t chunk_index = r.outer_iter / interval_iters;
+    if (static_cast<std::int64_t>(chunk_index) != current_index) {
+      chunks.emplace_back();
+      current_index = chunk_index;
+      chunk_base = chunk_index * interval_iters;
+    }
+    TraceRecord rebased = r;
+    rebased.outer_iter = r.outer_iter - chunk_base;
+    chunks.back().mutable_records().push_back(rebased);
+  }
+  return chunks;
+}
+
+}  // namespace
+
+AdaptiveRunResult run_adaptive_experiment(const TraceBuffer& trace,
+                                          const SpExperimentConfig& base,
+                                          const AdaptiveConfig& adaptive,
+                                          std::uint32_t interval_iters,
+                                          double rp) {
+  SPF_ASSERT(interval_iters > 0, "interval must be positive");
+  AdaptiveRunResult result;
+  FeedbackDistanceController controller(adaptive);
+
+  for (const TraceBuffer& chunk : split_by_iters(trace, interval_iters)) {
+    SpExperimentConfig cfg = base;
+    cfg.params = SpParams::from_distance_rp(controller.distance(), rp);
+    const SpRunSummary run = run_sp_once(chunk, cfg);
+    result.distance_trajectory.push_back(controller.distance());
+    ++result.intervals;
+
+    result.aggregate.runtime += run.runtime;
+    result.aggregate.l2_lookups += run.l2_lookups;
+    result.aggregate.totally_hits += run.totally_hits;
+    result.aggregate.partially_hits += run.partially_hits;
+    result.aggregate.totally_misses += run.totally_misses;
+    result.aggregate.memory_requests += run.memory_requests;
+    result.aggregate.pollution.case1_reuse_displaced +=
+        run.pollution.case1_reuse_displaced;
+    result.aggregate.pollution.case2_helper_displaced +=
+        run.pollution.case2_helper_displaced;
+    result.aggregate.pollution.case3_hw_displaced +=
+        run.pollution.case3_hw_displaced;
+    result.aggregate.pollution.prefetch_caused_evictions +=
+        run.pollution.prefetch_caused_evictions;
+    result.aggregate.pollution.total_evictions += run.pollution.total_evictions;
+
+    controller.observe(IntervalFeedback{
+        .l2_lookups = run.l2_lookups,
+        .partially_hits = run.partially_hits,
+        .totally_misses = run.totally_misses,
+        .pollution_events = run.pollution.total_pollution(),
+    });
+  }
+  return result;
+}
+
+}  // namespace spf

@@ -1,0 +1,123 @@
+#include "spf/core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+namespace {
+
+/// Recommendation when nothing constrains the distance (working set fits).
+constexpr std::uint32_t kUnboundedDefaultDistance = 32;
+
+}  // namespace
+
+std::string AdvisorReport::to_string() const {
+  std::ostringstream out;
+  out << "SP advisory\n"
+      << "  patterns:    " << patterns.to_string() << "\n"
+      << "  phases:      " << phases.distinct_phases
+      << (phases.is_stable() ? " (stable)" : " (phase-varying)") << "\n"
+      << "  CALR:        " << calr.calr << " -> RP " << rp << "\n"
+      << "  set affinity: ";
+  if (sa.merged.any_saturated()) {
+    out << "[" << sa.merged.min_sa() << ", " << sa.merged.max_sa() << "]"
+        << (sa.cumulative_fallback ? " (cumulative)" : "");
+  } else {
+    out << "no set saturates";
+  }
+  out << "\n  bound:       " << bound.to_string() << "\n"
+      << "  recommended: " << recommended.to_string() << "\n";
+  if (validation) {
+    out << "  predicted:   norm_runtime=" << validation->norm_runtime()
+        << " dTmiss=" << validation->delta_totally_miss()
+        << " pollution=" << validation->sp.pollution.total_pollution() << "\n";
+  }
+  for (const std::string& c : caveats) out << "  caveat:      " << c << "\n";
+  out << "  verdict:     "
+      << (sp_recommended ? "SP recommended" : "SP NOT recommended") << "\n";
+  return out.str();
+}
+
+AdvisorReport advise_sp(const TraceBuffer& trace,
+                        const std::vector<std::uint32_t>& invocation_starts,
+                        const AdvisorConfig& config) {
+  SPF_ASSERT(!trace.empty(), "cannot advise on an empty trace");
+  AdvisorReport report;
+
+  report.patterns = classify_patterns(
+      trace, PatternConfig{.line_bytes = config.l2.line_bytes()});
+  if (report.patterns.irregular_fraction < config.min_irregular_fraction) {
+    report.caveats.push_back(
+        "access stream is mostly regular; hardware prefetchers likely cover "
+        "it and SP's headroom is small");
+    report.sp_recommended = false;
+  }
+
+  report.phases = detect_phases(trace, config.l2);
+  if (!report.phases.is_stable()) {
+    report.caveats.push_back(
+        "multiple access phases detected; consider per-phase profiles or the "
+        "feedback controller (spf/core/adaptive.hpp)");
+  }
+
+  CalrConfig calr_config = config.calr;
+  calr_config.l2 = config.l2;
+  report.calr = estimate_calr(trace, calr_config);
+  report.rp = SpParams::rp_from_calr(report.calr.calr);
+
+  report.sa = analyze_workload_sa(trace, invocation_starts, config.l2);
+  std::uint32_t distance;
+  if (report.sa.merged.any_saturated()) {
+    report.bound.original_min_sa = report.sa.merged.min_sa();
+    report.bound.upper_limit =
+        std::max<std::uint32_t>(1, report.bound.original_min_sa / 2);
+    distance = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::floor(
+               config.distance_margin *
+               static_cast<double>(report.bound.upper_limit))));
+    // Refine Definition-3 style against the synthesized helper stream, and
+    // re-apply the margin if the refined bound came in tighter.
+    report.bound = refine_with_helper(
+        report.bound, trace, invocation_starts,
+        SpParams::from_distance_rp(distance, report.rp), config.l2);
+    const auto refined_margin = static_cast<std::uint32_t>(std::floor(
+        config.distance_margin * static_cast<double>(report.bound.upper_limit)));
+    distance = std::max<std::uint32_t>(1, std::min(distance, refined_margin));
+  } else {
+    report.bound.original_min_sa = 0;
+    report.bound.upper_limit = std::numeric_limits<std::uint32_t>::max();
+    report.caveats.push_back(
+        "working set fits in the shared cache: pollution does not constrain "
+        "the distance; using a conservative default");
+    distance = kUnboundedDefaultDistance;
+  }
+  report.recommended = SpParams::from_distance_rp(distance, report.rp);
+
+  if (config.validate) {
+    SpExperimentConfig exp;
+    exp.sim.l2 = config.l2;
+    exp.params = report.recommended;
+    report.validation = run_sp_experiment(trace, exp);
+    // Measurement beats heuristics in both directions: a simulated run at
+    // the recommendation is ground truth for this trace.
+    if (report.validation->norm_runtime() > 0.98) {
+      report.caveats.push_back(
+          "validation shows <2% predicted gain; SP's thread cost may not be "
+          "worth it on this loop");
+      report.sp_recommended = false;
+    } else if (!report.sp_recommended &&
+               report.validation->norm_runtime() < 0.9) {
+      report.caveats.push_back(
+          "pattern heuristic was pessimistic but validation predicts >10% "
+          "gain; recommending SP on the measured evidence");
+      report.sp_recommended = true;
+    }
+  }
+  return report;
+}
+
+}  // namespace spf

@@ -1,0 +1,61 @@
+#include "spf/core/distance_bound.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+#include "spf/core/helper_gen.hpp"
+#include "spf/profile/invocations.hpp"
+
+namespace spf {
+
+std::string DistanceBound::to_string() const {
+  std::ostringstream out;
+  out << "DistanceBound{original_min_sa=" << original_min_sa;
+  if (with_helper_min_sa) out << " with_helper_min_sa=" << *with_helper_min_sa;
+  out << " upper_limit=" << upper_limit << "}";
+  return out.str();
+}
+
+DistanceBound estimate_distance_bound(
+    const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts,
+    const CacheGeometry& l2) {
+  const WorkloadSaResult sa =
+      analyze_workload_sa(main_trace, invocation_starts, l2);
+  SPF_ASSERT(sa.merged.any_saturated(),
+             "no cache set saturates: the working set fits in the cache and "
+             "prefetch distance is unconstrained by pollution");
+  DistanceBound bound;
+  bound.original_min_sa = sa.merged.min_sa();
+  bound.upper_limit = std::max<std::uint32_t>(1, bound.original_min_sa / 2);
+  return bound;
+}
+
+DistanceBound refine_with_helper(
+    const DistanceBound& bound, const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
+    const CacheGeometry& l2) {
+  TraceBuffer helper = make_helper_trace(main_trace, params);
+  // The helper touches a pre-executed iteration's data while the main thread
+  // is still ~A_SKI iterations behind; re-anchor its records to the main-
+  // thread iteration at which they actually hit the shared cache, so the
+  // combined stream reflects the doubled per-set pressure the paper's
+  // "Set Affinity with Helper Thread <= Original/2" formula captures.
+  for (TraceRecord& r : helper.mutable_records()) {
+    r.outer_iter = r.outer_iter >= params.a_ski ? r.outer_iter - params.a_ski : 0;
+  }
+  const TraceBuffer combined = merge_traces_by_iter(main_trace, helper);
+  const WorkloadSaResult sa =
+      analyze_workload_sa(combined, invocation_starts, l2);
+  DistanceBound refined = bound;
+  if (sa.merged.any_saturated()) {
+    refined.with_helper_min_sa = sa.merged.min_sa();
+    refined.upper_limit =
+        std::max<std::uint32_t>(1, std::min(*refined.with_helper_min_sa,
+                                            bound.original_min_sa / 2));
+  }
+  return refined;
+}
+
+}  // namespace spf

@@ -1,0 +1,108 @@
+#include "spf/core/experiment.hpp"
+
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+#include "spf/sim/simulator.hpp"
+
+namespace spf {
+namespace {
+
+double ratio(double num, double den) { return den != 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+SpRunSummary SpRunSummary::from(const SimResult& result) {
+  const ThreadMetrics& main = result.main();
+  SpRunSummary s;
+  s.runtime = main.finish_time;
+  s.l2_lookups = main.l2_lookups;
+  s.totally_hits = main.totally_hits;
+  s.partially_hits = main.partially_hits;
+  s.totally_misses = main.totally_misses;
+  s.pollution = result.pollution;
+  s.memory_requests = result.memory.requests;
+  s.helper_finish =
+      result.per_core.size() > 1 ? result.per_core[1].finish_time : 0;
+  return s;
+}
+
+double SpComparison::norm_runtime() const {
+  return ratio(static_cast<double>(sp.runtime),
+               static_cast<double>(original.runtime));
+}
+
+double SpComparison::norm_memory_accesses() const {
+  return ratio(static_cast<double>(sp.memory_accesses()),
+               static_cast<double>(original.memory_accesses()));
+}
+
+double SpComparison::norm_hot_misses() const {
+  return ratio(static_cast<double>(sp.totally_misses),
+               static_cast<double>(original.totally_misses));
+}
+
+double SpComparison::delta_totally_hit() const {
+  return ratio(static_cast<double>(sp.totally_hits) -
+                   static_cast<double>(original.totally_hits),
+               static_cast<double>(original.memory_accesses()));
+}
+
+double SpComparison::delta_totally_miss() const {
+  return ratio(static_cast<double>(sp.totally_misses) -
+                   static_cast<double>(original.totally_misses),
+               static_cast<double>(original.memory_accesses()));
+}
+
+double SpComparison::delta_partially_hit() const {
+  return ratio(static_cast<double>(sp.partially_hits) -
+                   static_cast<double>(original.partially_hits),
+               static_cast<double>(original.memory_accesses()));
+}
+
+std::string SpComparison::to_string() const {
+  std::ostringstream out;
+  out << "norm_runtime=" << norm_runtime()
+      << " norm_mem_acc=" << norm_memory_accesses()
+      << " norm_hot_misses=" << norm_hot_misses()
+      << " dThit=" << delta_totally_hit() << " dTmiss=" << delta_totally_miss()
+      << " dPhit=" << delta_partially_hit() << " " << sp.pollution.to_string();
+  return out.str();
+}
+
+SpRunSummary run_original(const TraceBuffer& main_trace,
+                          const SpExperimentConfig& config) {
+  SimConfig sim = config.sim;
+  sim.hw_prefetch = config.baseline_hw_prefetch;
+  CmpSimulator simulator(sim);
+  const SimResult result = simulator.run(
+      {CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
+                  .sync = std::nullopt}});
+  return SpRunSummary::from(result);
+}
+
+SpRunSummary run_sp_once(const TraceBuffer& main_trace,
+                         const SpExperimentConfig& config) {
+  const TraceBuffer helper_trace =
+      make_helper_trace(main_trace, config.params, config.helper);
+  CmpSimulator simulator(config.sim);
+  const SimResult result = simulator.run({
+      CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
+                 .sync = std::nullopt},
+      CoreStream{.trace = &helper_trace,
+                 .origin = FillOrigin::kHelper,
+                 .sync = RoundSync{.leader = 0,
+                                   .round_iters = config.params.round()}},
+  });
+  return SpRunSummary::from(result);
+}
+
+SpComparison run_sp_experiment(const TraceBuffer& main_trace,
+                               const SpExperimentConfig& config) {
+  SpComparison cmp;
+  cmp.original = run_original(main_trace, config);
+  cmp.sp = run_sp_once(main_trace, config);
+  return cmp;
+}
+
+}  // namespace spf

@@ -1,0 +1,47 @@
+#include "spf/core/helper_gen.hpp"
+
+#include <algorithm>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+TraceBuffer make_helper_trace(const TraceBuffer& main_trace,
+                              const SpParams& params,
+                              const HelperGenOptions& options) {
+  SPF_ASSERT(params.a_pre > 0, "helper must pre-execute at least one iteration");
+  const std::uint32_t round = params.round();
+
+  TraceBuffer helper;
+  helper.reserve(main_trace.size() / 2);
+  for (const TraceRecord& r : main_trace) {
+    if (r.kind() == AccessKind::kWrite) continue;  // helper never stores
+    const std::uint32_t pos = r.outer_iter % round;
+    const bool pre_execute = pos >= params.a_ski;
+    if (!pre_execute && !r.is_spine()) continue;
+
+    AccessKind kind = AccessKind::kRead;
+    if (pre_execute && r.is_delinquent() && options.use_prefetch_instructions) {
+      kind = AccessKind::kPrefetch;
+    }
+    helper.emit(r.addr, r.outer_iter, kind, r.site, r.flags(),
+                options.helper_compute_gap);
+  }
+  return helper;
+}
+
+TraceBuffer merge_traces_by_iter(const TraceBuffer& a, const TraceBuffer& b) {
+  TraceBuffer merged;
+  merged.reserve(a.size() + b.size());
+  auto& out = merged.mutable_records();
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() || (ia < a.size() && a[ia].outer_iter <= b[ib].outer_iter);
+    out.push_back(take_a ? a[ia++] : b[ib++]);
+  }
+  return merged;
+}
+
+}  // namespace spf

@@ -1,0 +1,98 @@
+// Feedback-directed prefetch distance.
+//
+// The paper derives a *static* upper bound from profiling; its related-work
+// section points at feedback-directed prefetching (Srinath et al., HPCA'07
+// [6]/[34]) as the dynamic alternative. This controller closes that loop: it
+// watches per-interval pollution and timeliness counters and walks the
+// distance up or down inside [min_distance, max_distance], so a workload
+// whose behaviour drifts across phases stays near its best distance without
+// a re-profile.
+//
+// Policy (additive-increase / multiplicative-decrease, like the classic FDP
+// table):
+//   pollution high                         -> distance /= 2  (too early)
+//   pollution low and partial-hit share
+//     high (fills arriving late)           -> distance += step (too late)
+//   otherwise                              -> hold
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spf/core/experiment.hpp"
+
+namespace spf {
+
+struct AdaptiveConfig {
+  std::uint32_t min_distance = 1;
+  /// Typically the Set-Affinity bound: the static analysis still caps the
+  /// dynamic walk.
+  std::uint32_t max_distance = 64;
+  std::uint32_t initial_distance = 8;
+  /// Additive step when increasing.
+  std::uint32_t increase_step = 4;
+  /// Pollution events per 1000 demand L2 lookups above which prefetches are
+  /// deemed too early.
+  double pollution_high_per_mille = 40.0;
+  double pollution_low_per_mille = 10.0;
+  /// Partially-hit share of memory accesses above which prefetches are
+  /// deemed too late (data still in flight when the core arrives).
+  double late_share = 0.10;
+};
+
+/// One observation interval's counters (deltas, not cumulative).
+struct IntervalFeedback {
+  std::uint64_t l2_lookups = 0;
+  std::uint64_t partially_hits = 0;
+  std::uint64_t totally_misses = 0;
+  std::uint64_t pollution_events = 0;
+};
+
+enum class AdaptiveAction : std::uint8_t { kHold, kIncrease, kDecrease };
+
+[[nodiscard]] const char* to_string(AdaptiveAction a) noexcept;
+
+class FeedbackDistanceController {
+ public:
+  explicit FeedbackDistanceController(const AdaptiveConfig& config);
+
+  [[nodiscard]] std::uint32_t distance() const noexcept { return distance_; }
+
+  /// Digest one interval; returns the action taken. distance() afterwards
+  /// reflects the new setting for the next interval.
+  AdaptiveAction observe(const IntervalFeedback& interval);
+
+  [[nodiscard]] std::uint64_t increases() const noexcept { return increases_; }
+  [[nodiscard]] std::uint64_t decreases() const noexcept { return decreases_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  AdaptiveConfig config_;
+  std::uint32_t distance_;
+  std::uint64_t increases_ = 0;
+  std::uint64_t decreases_ = 0;
+};
+
+/// Emulated adaptive run: cuts `trace` into `interval_iters`-sized segments,
+/// simulates each under SP at the controller's current distance, feeds the
+/// counters back, and aggregates. Segment caches start cold (documented
+/// approximation; intervals should be long enough that warmup is amortized).
+struct AdaptiveRunResult {
+  SpRunSummary aggregate;
+  std::vector<std::uint32_t> distance_trajectory;
+  std::uint64_t intervals = 0;
+
+  [[nodiscard]] std::uint32_t final_distance() const {
+    return distance_trajectory.empty() ? 0 : distance_trajectory.back();
+  }
+};
+
+/// `base.params` is ignored; the controller supplies the distance (RP is
+/// taken from `rp`). Intervals are `interval_iters` outer iterations long.
+[[nodiscard]] AdaptiveRunResult run_adaptive_experiment(
+    const TraceBuffer& trace, const SpExperimentConfig& base,
+    const AdaptiveConfig& adaptive, std::uint32_t interval_iters,
+    double rp = 0.5);
+
+}  // namespace spf

@@ -1,0 +1,69 @@
+// SpAdvisor: the paper's whole method as one call.
+//
+// Given a hot loop's annotated trace, produce everything a user needs to
+// deploy SP on it:
+//   * access-pattern mix        -> is helper threading even warranted?
+//   * phase stability           -> does one profile suffice?
+//   * CALR                      -> prefetch ratio RP
+//   * Set Affinity distribution -> prefetch distance upper bound (SA/2 rule,
+//                                  refined against the synthesized helper)
+//   * recommended SpParams, optionally validated by simulating original vs
+//     SP at the recommendation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/core/sp_params.hpp"
+#include "spf/profile/calr.hpp"
+#include "spf/profile/invocations.hpp"
+#include "spf/profile/pattern.hpp"
+#include "spf/profile/phase.hpp"
+
+namespace spf {
+
+struct AdvisorConfig {
+  /// Shared L2 the bound is computed against.
+  CacheGeometry l2 = CacheGeometry::core2_l2();
+  CalrConfig calr{};
+  /// Fraction of the bound to recommend (the bound is a *limit*, not a
+  /// target; staying below it tolerates profile drift).
+  double distance_margin = 0.5;
+  /// Run original-vs-SP simulations at the recommendation to predict the
+  /// speedup (costs two simulator passes over the trace).
+  bool validate = true;
+  /// Below this irregular-access share, the advisor flags that hardware
+  /// prefetchers likely already cover the loop.
+  double min_irregular_fraction = 0.2;
+};
+
+struct AdvisorReport {
+  PatternReport patterns;
+  PhaseReport phases;
+  CalrEstimate calr;
+  double rp = 0.5;
+  WorkloadSaResult sa;
+  DistanceBound bound;
+  SpParams recommended;
+  /// Filled when AdvisorConfig::validate is set.
+  std::optional<SpComparison> validation;
+  /// Human-readable caveats (e.g. "mostly regular accesses", "working set
+  /// fits in cache: no pollution constraint").
+  std::vector<std::string> caveats;
+  /// Overall verdict: SP is expected to pay off on this loop.
+  bool sp_recommended = true;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the full advisory pipeline. `calr.l1/l2` inherit `config.l2` and its
+/// companion L1 unless explicitly set apart.
+[[nodiscard]] AdvisorReport advise_sp(
+    const TraceBuffer& trace, const std::vector<std::uint32_t>& invocation_starts,
+    const AdvisorConfig& config = {});
+
+}  // namespace spf

@@ -1,0 +1,56 @@
+// The paper's contribution: an upper limit on prefetch distance derived from
+// Set Affinity (§III.B).
+//
+//   Set Affinity with Helper Thread * 2 <= Original Set Affinity
+//   =>  Prefetch Distance < Set Affinity with Helper Thread
+//   =>  Prefetch Distance < Original Set Affinity / 2
+//
+// "to avoid introducing cache pollution, the upper limit of prefetch
+//  distance should be the minimum Set Affinity with Helper Thread."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spf/core/sp_params.hpp"
+#include "spf/mem/geometry.hpp"
+#include "spf/profile/set_affinity.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct DistanceBound {
+  /// Minimum Original Set Affinity (application alone, hardware prefetchers
+  /// and helper threading off — paper Definition 2).
+  std::uint32_t original_min_sa = 0;
+  /// Minimum Set Affinity measured on the combined main+helper reference
+  /// stream, when a helper trace was supplied (paper Definition 3).
+  std::optional<std::uint32_t> with_helper_min_sa;
+  /// The bound actually recommended: with_helper_min_sa when measured,
+  /// otherwise original_min_sa / 2.
+  std::uint32_t upper_limit = 0;
+
+  [[nodiscard]] bool allows(std::uint32_t distance) const noexcept {
+    return distance < upper_limit;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimates the bound from the main thread's hot-loop trace, honoring
+/// hot-function invocation boundaries (see analyze_workload_sa).
+[[nodiscard]] DistanceBound estimate_distance_bound(
+    const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts,
+    const CacheGeometry& l2);
+
+/// Refines the bound by measuring Set Affinity with Helper Thread directly:
+/// synthesizes the helper stream for `params`, merges it with the main
+/// stream, and re-analyzes.
+[[nodiscard]] DistanceBound refine_with_helper(
+    const DistanceBound& bound, const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
+    const CacheGeometry& l2);
+
+}  // namespace spf

@@ -1,0 +1,52 @@
+// Helper-thread construction as a trace transform (paper Figure 1(b)).
+//
+// The SP helper executes only the loads' computation, in rounds of
+// A_SKI + A_PRE outer iterations:
+//
+//   skip phase (first A_SKI iterations of the round): follow the spine only —
+//     records flagged kFlagSpine are kept (the node->next chase the helper
+//     cannot avoid); everything else is dropped. Array-scan workloads have no
+//     spine records, so skipping is free for them.
+//
+//   pre-execute phase (last A_PRE iterations): every read is kept — spine,
+//     address-generation and delinquent loads alike ("the helper thread
+//     conducts A_PRE iterations of both two level traversal"). Writes are
+//     always dropped: the helper must not mutate program state.
+//
+// By default kept reads stay blocking loads (the paper's helper is ordinary
+// code whose loads stall it — that is exactly why low-CALR loops need the
+// skip). Optionally delinquent loads become non-binding prefetch
+// instructions instead (ablation: prefetch-instruction helper).
+#pragma once
+
+#include <cstdint>
+
+#include "spf/core/sp_params.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct HelperGenOptions {
+  /// Emit delinquent loads as AccessKind::kPrefetch (non-binding) instead of
+  /// blocking reads.
+  bool use_prefetch_instructions = false;
+  /// Compute cycles the helper spends per kept record (address arithmetic).
+  /// The paper's helper does almost none.
+  std::uint16_t helper_compute_gap = 0;
+};
+
+/// Synthesizes the helper thread's access stream from the main thread's hot
+/// loop trace. outer_iter values are preserved (the simulator's RoundSync
+/// staggers the two streams per round).
+[[nodiscard]] TraceBuffer make_helper_trace(const TraceBuffer& main_trace,
+                                            const SpParams& params,
+                                            const HelperGenOptions& options = {});
+
+/// Merges two traces into one stream ordered by outer_iter (stable within an
+/// iteration: records of `a` first). Used to measure "Set Affinity with
+/// Helper Thread" over the combined reference stream of both data access
+/// entities.
+[[nodiscard]] TraceBuffer merge_traces_by_iter(const TraceBuffer& a,
+                                               const TraceBuffer& b);
+
+}  // namespace spf

@@ -1,0 +1,43 @@
+// SP (Skip helper-threaded Prefetching) parameters — paper §II.A:
+//
+//   A_SKI — prefetch distance: outer-loop iterations the helper skips per
+//           round (spine-only traversal), which is how far its prefetches
+//           land ahead of the main thread.
+//   A_PRE — prefetch degree: iterations the helper pre-executes per round.
+//   RP    — prefetch ratio A_PRE / (A_SKI + A_PRE).
+//
+// Selection rule (paper §II.B): applications with CALR close to 0 get
+// RP = 0.5 (A_SKI = A_PRE, helper takes over half the problem loads);
+// applications with CALR >= 1 get RP = 1 (A_SKI = 0, conventional helper
+// threading that prefetches everything).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spf {
+
+struct SpParams {
+  /// Prefetch distance (iterations skipped per round).
+  std::uint32_t a_ski = 0;
+  /// Prefetch degree (iterations pre-executed per round).
+  std::uint32_t a_pre = 1;
+
+  [[nodiscard]] std::uint32_t round() const noexcept { return a_ski + a_pre; }
+  [[nodiscard]] double rp() const noexcept {
+    return static_cast<double>(a_pre) / static_cast<double>(round());
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Builds parameters from a prefetch distance and a target prefetch ratio.
+  /// distance maps to A_SKI; A_PRE is solved from RP = P/(S+P). RP >= 1
+  /// yields conventional helper threading (A_SKI = 0, A_PRE = max(distance,
+  /// 1)).
+  static SpParams from_distance_rp(std::uint32_t distance, double rp);
+
+  /// The paper's RP-from-CALR rule, linearly interpolated between its two
+  /// anchor points: RP(0) = 0.5 and RP(1) = 1.
+  static double rp_from_calr(double calr) noexcept;
+};
+
+}  // namespace spf

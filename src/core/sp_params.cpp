@@ -1,0 +1,35 @@
+#include "spf/core/sp_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+std::string SpParams::to_string() const {
+  std::ostringstream out;
+  out << "SP{A_SKI=" << a_ski << " A_PRE=" << a_pre << " RP=" << rp() << "}";
+  return out.str();
+}
+
+SpParams SpParams::from_distance_rp(std::uint32_t distance, double rp) {
+  SPF_ASSERT(rp > 0.0, "prefetch ratio must be positive");
+  if (rp >= 1.0) {
+    return SpParams{.a_ski = 0, .a_pre = std::max<std::uint32_t>(distance, 1)};
+  }
+  if (distance == 0) {
+    // Degenerate: no skipping requested; smallest useful round.
+    return SpParams{.a_ski = 0, .a_pre = 1};
+  }
+  const double p = static_cast<double>(distance) * rp / (1.0 - rp);
+  const auto a_pre = static_cast<std::uint32_t>(std::lround(std::max(1.0, p)));
+  return SpParams{.a_ski = distance, .a_pre = a_pre};
+}
+
+double SpParams::rp_from_calr(double calr) noexcept {
+  return std::clamp(0.5 + 0.5 * calr, 0.5, 1.0);
+}
+
+}  // namespace spf

@@ -1,0 +1,43 @@
+// IR interpreter: executes a Program against a VirtualMemory, emitting the
+// memory-access trace its loads/stores produce. Also provides the SP-helper
+// execution mode, which runs a sliced program in the paper's round structure
+// (skip phase: loop-carried register maintenance only; pre-execute phase:
+// the whole slice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/core/sp_params.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/slice_mask.hpp"
+#include "spf/ir/vm.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf::ir {
+
+struct InterpResult {
+  TraceBuffer trace;
+  /// XOR-fold of every stored (addr, value) pair: a cheap execution
+  /// fingerprint for determinism and slicing tests.
+  std::uint64_t store_checksum = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+};
+
+/// Runs `program` to completion. `vm` is mutated by stores.
+[[nodiscard]] InterpResult interpret(const Program& program, VirtualMemory& vm);
+
+/// Runs the helper built by slicing (see spf/ir/slice.hpp) in SP's round
+/// structure: per round of params.round() outer iterations, the first
+/// params.a_ski iterations execute only the instructions in
+/// `slice.spine_mask` (loop-carried state maintenance), the remaining
+/// params.a_pre iterations execute everything in `slice.helper_mask`.
+/// The helper never stores, so `vm` is logically const (taken by value
+/// internally would be costly; it is asserted unmodified in debug builds).
+[[nodiscard]] InterpResult interpret_helper(const Program& program,
+                                            const SliceMasks& slice,
+                                            const SpParams& params,
+                                            const VirtualMemory& vm);
+
+}  // namespace spf::ir

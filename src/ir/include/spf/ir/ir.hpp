@@ -1,0 +1,112 @@
+// A miniature loop IR for hot functions.
+//
+// The paper constructs its helper threads from the hotspot's source code
+// (Fig. 1(b)); the compiler-based helper-threading line of work it cites
+// (Song et al. PACT'05, Kim & Yeung ASPLOS'02, Liao et al. PLDI'02) does it
+// by *program slicing*: the helper is the backward slice of the delinquent
+// loads' addresses. This IR is just big enough to express the paper's
+// two-level hot loops — an outer loop with loop-carried registers (the
+// pointer-chasing spine), one level of inner loops, loads/stores and address
+// arithmetic — so that slicing-based helper construction (spf/ir/slice.hpp)
+// can be implemented and tested against the trace-flag-based construction.
+//
+// Shape of a program: a straight-line body executed once per outer
+// iteration. Values are SSA-ish: instruction index == value id, operands
+// reference earlier instructions of the same iteration. State that crosses
+// iterations lives in registers (kRegRead/kRegWrite). Inner loops are
+// delimited by kLoopBegin/kLoopEnd (one nesting level); their bodies
+// re-execute per inner iteration, with kInnerIndex exposing the inner
+// induction variable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf::ir {
+
+enum class OpCode : std::uint8_t {
+  kConst,      // value = imm
+  kIterIndex,  // value = outer iteration index
+  kInnerIndex, // value = inner loop index (0 outside loops)
+  kAdd,        // value = v[a] + v[b]
+  kSub,        // value = v[a] - v[b]
+  kMul,        // value = v[a] * v[b]
+  kShl,        // value = v[a] << imm
+  kAnd,        // value = v[a] & v[b]
+  kMod,        // value = v[a] % v[b]  (v[b] != 0)
+  kRegRead,    // value = reg[imm]
+  kRegWrite,   // reg[imm] = v[a]
+  kLoad,       // value = mem[v[a]]; emits a trace record (site/flags/gap)
+  kStore,      // mem[v[a]] = v[b]; emits a trace record
+  kLoopBegin,  // inner loop with trip count v[a]; body until matching kLoopEnd
+  kLoopEnd,
+};
+
+[[nodiscard]] const char* to_string(OpCode op) noexcept;
+
+struct Instr {
+  OpCode op = OpCode::kConst;
+  /// Operand value ids (indices of earlier instructions); -1 = unused.
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::uint64_t imm = 0;
+  /// Trace annotations for kLoad/kStore.
+  std::uint8_t site = 0;
+  TraceFlags flags = 0;
+  std::uint16_t gap = 0;
+};
+
+struct Program {
+  std::vector<Instr> code;
+  /// Outer loop trip count.
+  std::uint32_t outer_trip = 0;
+  std::uint32_t num_regs = 8;
+  /// Initial register values (missing entries default to 0). This is how a
+  /// loop preamble (e.g. `node = list_head`) is expressed.
+  std::vector<std::uint64_t> reg_init;
+
+  [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
+};
+
+/// Structural validation: operand ids reference earlier instructions, loops
+/// are properly nested one level deep, register indices are in range, trip
+/// counts and operands are present where required. Returns an empty string
+/// when valid, else a diagnostic.
+[[nodiscard]] std::string verify(const Program& program);
+
+/// Small convenience builder so tests and workload encodings stay readable.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::uint32_t outer_trip) {
+    program_.outer_trip = outer_trip;
+  }
+
+  std::int32_t constant(std::uint64_t v);
+  std::int32_t iter_index();
+  std::int32_t inner_index();
+  std::int32_t add(std::int32_t a, std::int32_t b);
+  std::int32_t sub(std::int32_t a, std::int32_t b);
+  std::int32_t mul(std::int32_t a, std::int32_t b);
+  std::int32_t shl(std::int32_t a, std::uint64_t amount);
+  std::int32_t band(std::int32_t a, std::int32_t b);
+  std::int32_t mod(std::int32_t a, std::int32_t b);
+  std::int32_t reg_read(std::uint64_t reg);
+  void reg_write(std::uint64_t reg, std::int32_t value);
+  std::int32_t load(std::int32_t addr, std::uint8_t site, TraceFlags flags = 0,
+                    std::uint16_t gap = 0);
+  void store(std::int32_t addr, std::int32_t value, std::uint8_t site,
+             std::uint16_t gap = 0);
+  void loop_begin(std::int32_t trip);
+  void loop_end();
+
+  [[nodiscard]] Program take();
+
+ private:
+  std::int32_t push(Instr instr);
+  Program program_;
+};
+
+}  // namespace spf::ir

@@ -1,0 +1,44 @@
+// Helper-thread construction by backward program slicing.
+//
+// "The helper thread executes only the load's computation" (paper §II.A).
+// Given a hot-loop Program, the helper slice is the backward closure of the
+// delinquent loads: their address computation, the loads themselves, the
+// loop-carried register updates feeding any of it (the pointer-chasing
+// spine), and the inner-loop structure around any kept instruction. Stores
+// and value-only computation (e.g. the FLOP chain consuming the loaded
+// values) fall away — that is exactly the asymmetry that lets the helper run
+// ahead of the main thread.
+//
+// The spine mask — what must still execute in *skip* iterations — is the
+// same closure restricted to loop-carried register maintenance.
+#pragma once
+
+#include "spf/ir/ir.hpp"
+#include "spf/ir/slice_mask.hpp"
+
+namespace spf::ir {
+
+/// Builds both masks. Programs whose delinquent loads have no spine
+/// dependence (array scans) get an empty spine mask: skipping is free.
+[[nodiscard]] SliceMasks build_helper_slice(const Program& program);
+
+/// Diagnostics: which fraction of the program the helper retains.
+struct SliceStats {
+  std::size_t program_instrs = 0;
+  std::size_t helper_instrs = 0;
+  std::size_t spine_instrs = 0;
+  std::size_t dropped_stores = 0;
+  std::size_t dropped_compute = 0;
+};
+
+[[nodiscard]] SliceStats slice_stats(const Program& program,
+                                     const SliceMasks& masks);
+
+/// Materializes the masked instructions as a standalone program (operand ids
+/// renumbered, dropped instructions gone) — the helper thread as code you
+/// could hand to a compiler backend. Pre: `mask` is closed (every kept
+/// instruction's operands are kept; build_helper_slice guarantees this).
+[[nodiscard]] Program strip(const Program& program,
+                            const std::vector<bool>& mask);
+
+}  // namespace spf::ir

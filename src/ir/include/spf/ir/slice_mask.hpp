@@ -1,0 +1,32 @@
+// Instruction masks produced by helper-thread slicing (spf/ir/slice.hpp) and
+// consumed by the helper interpreter (spf/ir/interp.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spf::ir {
+
+struct SliceMasks {
+  /// Instructions the helper executes in pre-execute iterations: the
+  /// backward closure of the delinquent loads (their address computation,
+  /// the loads themselves, and the loop-carried register updates feeding
+  /// them). Indexed by instruction id.
+  std::vector<bool> helper_mask;
+  /// The subset that must also run in *skip* iterations: everything needed
+  /// to keep loop-carried registers (the spine) advancing.
+  std::vector<bool> spine_mask;
+
+  [[nodiscard]] std::size_t helper_count() const {
+    std::size_t n = 0;
+    for (bool b : helper_mask) n += b;
+    return n;
+  }
+  [[nodiscard]] std::size_t spine_count() const {
+    std::size_t n = 0;
+    for (bool b : spine_mask) n += b;
+    return n;
+  }
+};
+
+}  // namespace spf::ir

@@ -1,0 +1,30 @@
+// Sparse virtual memory for IR programs: 64-bit words addressed by byte
+// address (8-byte aligned). Workload encoders populate it with the data
+// structures (next pointers, dependency arrays); the interpreter's loads
+// read real values out of it, so pointer chases follow real chains.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "spf/mem/types.hpp"
+
+namespace spf::ir {
+
+class VirtualMemory {
+ public:
+  /// Word at byte address `addr` (rounded down to 8-byte alignment);
+  /// untouched memory reads as zero.
+  [[nodiscard]] std::uint64_t read(Addr addr) const;
+  void write(Addr addr, std::uint64_t value);
+
+  [[nodiscard]] std::size_t resident_words() const noexcept {
+    return words_.size();
+  }
+
+ private:
+  static Addr align(Addr addr) noexcept { return addr & ~Addr{7}; }
+  std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+}  // namespace spf::ir

@@ -1,0 +1,199 @@
+#include "spf/ir/interp.hpp"
+
+#include <limits>
+
+#include "spf/common/assert.hpp"
+
+namespace spf::ir {
+namespace {
+
+/// Matching kLoopEnd index per kLoopBegin (and SIZE_MAX elsewhere).
+std::vector<std::size_t> match_loop_ends(const Program& program) {
+  std::vector<std::size_t> match(program.code.size(),
+                                 std::numeric_limits<std::size_t>::max());
+  std::size_t open_begin = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (program.code[i].op == OpCode::kLoopBegin) {
+      open_begin = i;
+    } else if (program.code[i].op == OpCode::kLoopEnd) {
+      SPF_ASSERT(open_begin != std::numeric_limits<std::size_t>::max(),
+                 "loop end without begin (verify() should have caught this)");
+      match[open_begin] = i;
+      open_begin = std::numeric_limits<std::size_t>::max();
+    }
+  }
+  return match;
+}
+
+struct ExecContext {
+  const Program& program;
+  const std::vector<std::size_t>& loop_end;
+  VirtualMemory* vm_mut;        // stores allowed iff non-null
+  const VirtualMemory* vm_ro;   // read source (== vm_mut when mutable)
+  const std::vector<bool>* mask;  // nullptr = execute everything
+  InterpResult* out;
+};
+
+void execute_iteration(const ExecContext& ctx, std::uint32_t outer_iter,
+                       std::vector<std::uint64_t>& values,
+                       std::vector<std::uint64_t>& regs) {
+  const auto& code = ctx.program.code;
+  std::size_t ip = 0;
+  // One nesting level: remembered loop state.
+  std::size_t loop_begin_ip = std::numeric_limits<std::size_t>::max();
+  std::uint64_t inner_trip = 0;
+  std::uint64_t inner_iter = 0;
+
+  auto enabled = [&](std::size_t i) {
+    return ctx.mask == nullptr || (*ctx.mask)[i];
+  };
+
+  while (ip < code.size()) {
+    const Instr& ins = code[ip];
+    if (!enabled(ip)) {
+      // A disabled kLoopBegin skips its whole body (the slicer keeps the
+      // begin/end whenever it keeps anything inside).
+      ip = ins.op == OpCode::kLoopBegin ? ctx.loop_end[ip] + 1 : ip + 1;
+      continue;
+    }
+    switch (ins.op) {
+      case OpCode::kConst:
+        values[ip] = ins.imm;
+        break;
+      case OpCode::kIterIndex:
+        values[ip] = outer_iter;
+        break;
+      case OpCode::kInnerIndex:
+        values[ip] = inner_iter;
+        break;
+      case OpCode::kAdd:
+        values[ip] = values[static_cast<std::size_t>(ins.a)] +
+                     values[static_cast<std::size_t>(ins.b)];
+        break;
+      case OpCode::kSub:
+        values[ip] = values[static_cast<std::size_t>(ins.a)] -
+                     values[static_cast<std::size_t>(ins.b)];
+        break;
+      case OpCode::kMul:
+        values[ip] = values[static_cast<std::size_t>(ins.a)] *
+                     values[static_cast<std::size_t>(ins.b)];
+        break;
+      case OpCode::kShl:
+        values[ip] = values[static_cast<std::size_t>(ins.a)] << ins.imm;
+        break;
+      case OpCode::kAnd:
+        values[ip] = values[static_cast<std::size_t>(ins.a)] &
+                     values[static_cast<std::size_t>(ins.b)];
+        break;
+      case OpCode::kMod: {
+        const std::uint64_t d = values[static_cast<std::size_t>(ins.b)];
+        SPF_ASSERT(d != 0, "modulo by zero in IR program");
+        values[ip] = values[static_cast<std::size_t>(ins.a)] % d;
+        break;
+      }
+      case OpCode::kRegRead:
+        values[ip] = regs[ins.imm];
+        break;
+      case OpCode::kRegWrite:
+        regs[ins.imm] = values[static_cast<std::size_t>(ins.a)];
+        break;
+      case OpCode::kLoad: {
+        const Addr addr = values[static_cast<std::size_t>(ins.a)];
+        values[ip] = ctx.vm_ro->read(addr);
+        ctx.out->trace.emit(addr, outer_iter, AccessKind::kRead, ins.site,
+                            ins.flags, ins.gap);
+        ++ctx.out->loads;
+        break;
+      }
+      case OpCode::kStore: {
+        SPF_ASSERT(ctx.vm_mut != nullptr,
+                   "store executed in a read-only (helper) context");
+        const Addr addr = values[static_cast<std::size_t>(ins.a)];
+        const std::uint64_t value = values[static_cast<std::size_t>(ins.b)];
+        ctx.vm_mut->write(addr, value);
+        ctx.out->trace.emit(addr, outer_iter, AccessKind::kWrite, ins.site,
+                            ins.flags, ins.gap);
+        ctx.out->store_checksum ^=
+            (addr << 13 | addr >> 51) ^ (value * 0x9e3779b97f4a7c15ULL);
+        ++ctx.out->stores;
+        break;
+      }
+      case OpCode::kLoopBegin: {
+        inner_trip = values[static_cast<std::size_t>(ins.a)];
+        inner_iter = 0;
+        if (inner_trip == 0) {
+          ip = ctx.loop_end[ip] + 1;
+          continue;
+        }
+        loop_begin_ip = ip;
+        break;
+      }
+      case OpCode::kLoopEnd: {
+        ++inner_iter;
+        if (inner_iter < inner_trip) {
+          ip = loop_begin_ip + 1;
+          continue;
+        }
+        inner_iter = 0;
+        break;
+      }
+    }
+    ++ip;
+  }
+}
+
+}  // namespace
+
+InterpResult interpret(const Program& program, VirtualMemory& vm) {
+  SPF_ASSERT(verify(program).empty(), "invalid program");
+  InterpResult out;
+  const auto loop_end = match_loop_ends(program);
+  std::vector<std::uint64_t> values(program.code.size(), 0);
+  std::vector<std::uint64_t> regs(program.num_regs, 0);
+  for (std::size_t r = 0; r < program.reg_init.size() && r < regs.size(); ++r) {
+    regs[r] = program.reg_init[r];
+  }
+  const ExecContext ctx{.program = program,
+                        .loop_end = loop_end,
+                        .vm_mut = &vm,
+                        .vm_ro = &vm,
+                        .mask = nullptr,
+                        .out = &out};
+  for (std::uint32_t i = 0; i < program.outer_trip; ++i) {
+    execute_iteration(ctx, i, values, regs);
+  }
+  return out;
+}
+
+InterpResult interpret_helper(const Program& program, const SliceMasks& slice,
+                              const SpParams& params, const VirtualMemory& vm) {
+  SPF_ASSERT(verify(program).empty(), "invalid program");
+  SPF_ASSERT(slice.helper_mask.size() == program.code.size() &&
+                 slice.spine_mask.size() == program.code.size(),
+             "slice masks must cover the program");
+  SPF_ASSERT(params.a_pre > 0, "helper must pre-execute at least one iteration");
+
+  InterpResult out;
+  const auto loop_end = match_loop_ends(program);
+  std::vector<std::uint64_t> values(program.code.size(), 0);
+  std::vector<std::uint64_t> regs(program.num_regs, 0);
+  for (std::size_t r = 0; r < program.reg_init.size() && r < regs.size(); ++r) {
+    regs[r] = program.reg_init[r];
+  }
+  const std::uint32_t round = params.round();
+
+  ExecContext ctx{.program = program,
+                  .loop_end = loop_end,
+                  .vm_mut = nullptr,  // the helper must never store
+                  .vm_ro = &vm,
+                  .mask = nullptr,
+                  .out = &out};
+  for (std::uint32_t i = 0; i < program.outer_trip; ++i) {
+    const bool pre_execute = (i % round) >= params.a_ski;
+    ctx.mask = pre_execute ? &slice.helper_mask : &slice.spine_mask;
+    execute_iteration(ctx, i, values, regs);
+  }
+  return out;
+}
+
+}  // namespace spf::ir

@@ -1,0 +1,162 @@
+#include "spf/ir/ir.hpp"
+
+#include <sstream>
+
+#include "spf/common/assert.hpp"
+
+namespace spf::ir {
+
+const char* to_string(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kConst: return "const";
+    case OpCode::kIterIndex: return "iter";
+    case OpCode::kInnerIndex: return "inner";
+    case OpCode::kAdd: return "add";
+    case OpCode::kSub: return "sub";
+    case OpCode::kMul: return "mul";
+    case OpCode::kShl: return "shl";
+    case OpCode::kAnd: return "and";
+    case OpCode::kMod: return "mod";
+    case OpCode::kRegRead: return "rreg";
+    case OpCode::kRegWrite: return "wreg";
+    case OpCode::kLoad: return "load";
+    case OpCode::kStore: return "store";
+    case OpCode::kLoopBegin: return "loop";
+    case OpCode::kLoopEnd: return "end";
+  }
+  return "?";
+}
+
+namespace {
+
+bool needs_a(OpCode op) {
+  switch (op) {
+    case OpCode::kConst:
+    case OpCode::kIterIndex:
+    case OpCode::kInnerIndex:
+    case OpCode::kRegRead:
+    case OpCode::kLoopEnd:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool needs_b(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kAnd:
+    case OpCode::kMod:
+    case OpCode::kStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string verify(const Program& program) {
+  std::ostringstream err;
+  int loop_depth = 0;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const Instr& ins = program.code[i];
+    auto check_operand = [&](std::int32_t v, const char* name) {
+      if (v < 0 || static_cast<std::size_t>(v) >= i) {
+        err << "instr " << i << " (" << to_string(ins.op) << "): operand "
+            << name << "=" << v << " must reference an earlier instruction; ";
+      }
+    };
+    if (needs_a(ins.op)) check_operand(ins.a, "a");
+    if (needs_b(ins.op)) check_operand(ins.b, "b");
+    switch (ins.op) {
+      case OpCode::kRegRead:
+      case OpCode::kRegWrite:
+        if (ins.imm >= program.num_regs) {
+          err << "instr " << i << ": register " << ins.imm << " out of range; ";
+        }
+        break;
+      case OpCode::kLoopBegin:
+        ++loop_depth;
+        if (loop_depth > 1) {
+          err << "instr " << i << ": nested inner loops are not supported; ";
+        }
+        break;
+      case OpCode::kLoopEnd:
+        --loop_depth;
+        if (loop_depth < 0) {
+          err << "instr " << i << ": loop end without begin; ";
+          loop_depth = 0;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (loop_depth != 0) err << "unterminated inner loop; ";
+  if (program.outer_trip == 0) err << "outer trip count is zero; ";
+  return err.str();
+}
+
+std::int32_t ProgramBuilder::push(Instr instr) {
+  program_.code.push_back(instr);
+  return static_cast<std::int32_t>(program_.code.size() - 1);
+}
+
+std::int32_t ProgramBuilder::constant(std::uint64_t v) {
+  return push(Instr{.op = OpCode::kConst, .imm = v});
+}
+std::int32_t ProgramBuilder::iter_index() {
+  return push(Instr{.op = OpCode::kIterIndex});
+}
+std::int32_t ProgramBuilder::inner_index() {
+  return push(Instr{.op = OpCode::kInnerIndex});
+}
+std::int32_t ProgramBuilder::add(std::int32_t a, std::int32_t b) {
+  return push(Instr{.op = OpCode::kAdd, .a = a, .b = b});
+}
+std::int32_t ProgramBuilder::sub(std::int32_t a, std::int32_t b) {
+  return push(Instr{.op = OpCode::kSub, .a = a, .b = b});
+}
+std::int32_t ProgramBuilder::mul(std::int32_t a, std::int32_t b) {
+  return push(Instr{.op = OpCode::kMul, .a = a, .b = b});
+}
+std::int32_t ProgramBuilder::shl(std::int32_t a, std::uint64_t amount) {
+  return push(Instr{.op = OpCode::kShl, .a = a, .imm = amount});
+}
+std::int32_t ProgramBuilder::band(std::int32_t a, std::int32_t b) {
+  return push(Instr{.op = OpCode::kAnd, .a = a, .b = b});
+}
+std::int32_t ProgramBuilder::mod(std::int32_t a, std::int32_t b) {
+  return push(Instr{.op = OpCode::kMod, .a = a, .b = b});
+}
+std::int32_t ProgramBuilder::reg_read(std::uint64_t reg) {
+  return push(Instr{.op = OpCode::kRegRead, .imm = reg});
+}
+void ProgramBuilder::reg_write(std::uint64_t reg, std::int32_t value) {
+  push(Instr{.op = OpCode::kRegWrite, .a = value, .imm = reg});
+}
+std::int32_t ProgramBuilder::load(std::int32_t addr, std::uint8_t site,
+                                  TraceFlags flags, std::uint16_t gap) {
+  return push(Instr{.op = OpCode::kLoad, .a = addr, .site = site,
+                    .flags = flags, .gap = gap});
+}
+void ProgramBuilder::store(std::int32_t addr, std::int32_t value,
+                           std::uint8_t site, std::uint16_t gap) {
+  push(Instr{.op = OpCode::kStore, .a = addr, .b = value, .site = site,
+             .gap = gap});
+}
+void ProgramBuilder::loop_begin(std::int32_t trip) {
+  push(Instr{.op = OpCode::kLoopBegin, .a = trip});
+}
+void ProgramBuilder::loop_end() { push(Instr{.op = OpCode::kLoopEnd}); }
+
+Program ProgramBuilder::take() {
+  const std::string problems = verify(program_);
+  SPF_ASSERT(problems.empty(), problems);
+  return std::move(program_);
+}
+
+}  // namespace spf::ir

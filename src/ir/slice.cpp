@@ -1,0 +1,182 @@
+#include "spf/ir/slice.hpp"
+
+#include <limits>
+
+#include "spf/common/assert.hpp"
+
+namespace spf::ir {
+namespace {
+
+/// Enclosing kLoopBegin per instruction (SIZE_MAX at top level).
+std::vector<std::size_t> enclosing_loop(const Program& program) {
+  std::vector<std::size_t> enclosing(program.code.size(),
+                                     std::numeric_limits<std::size_t>::max());
+  std::size_t open = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    switch (program.code[i].op) {
+      case OpCode::kLoopBegin:
+        enclosing[i] = std::numeric_limits<std::size_t>::max();
+        open = i;
+        break;
+      case OpCode::kLoopEnd:
+        enclosing[i] = open;
+        open = std::numeric_limits<std::size_t>::max();
+        break;
+      default:
+        enclosing[i] = open;
+        break;
+    }
+  }
+  return enclosing;
+}
+
+/// Matching kLoopEnd per kLoopBegin.
+std::vector<std::size_t> loop_ends(const Program& program) {
+  std::vector<std::size_t> match(program.code.size(),
+                                 std::numeric_limits<std::size_t>::max());
+  std::size_t open = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (program.code[i].op == OpCode::kLoopBegin) open = i;
+    if (program.code[i].op == OpCode::kLoopEnd) {
+      match[open] = i;
+      open = std::numeric_limits<std::size_t>::max();
+    }
+  }
+  return match;
+}
+
+/// Fixpoint backward closure over: value operands, register def-use (a kept
+/// kRegRead pulls in every kRegWrite of that register), and loop structure
+/// (a kept in-loop instruction pulls in its kLoopBegin -- whose trip operand
+/// then closes too -- and kLoopEnd).
+void close(const Program& program, std::vector<bool>& keep) {
+  const auto enclosing = enclosing_loop(program);
+  const auto ends = loop_ends(program);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto mark = [&](std::size_t i) {
+      if (!keep[i]) {
+        keep[i] = true;
+        changed = true;
+      }
+    };
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+      if (!keep[i]) continue;
+      const Instr& ins = program.code[i];
+      if (ins.a >= 0) mark(static_cast<std::size_t>(ins.a));
+      if (ins.b >= 0) mark(static_cast<std::size_t>(ins.b));
+      if (ins.op == OpCode::kRegRead) {
+        for (std::size_t j = 0; j < program.code.size(); ++j) {
+          if (program.code[j].op == OpCode::kRegWrite &&
+              program.code[j].imm == ins.imm) {
+            mark(j);
+          }
+        }
+      }
+      if (enclosing[i] != std::numeric_limits<std::size_t>::max()) {
+        mark(enclosing[i]);
+        mark(ends[enclosing[i]]);
+      }
+      if (ins.op == OpCode::kLoopBegin) {
+        mark(ends[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SliceMasks build_helper_slice(const Program& program) {
+  SPF_ASSERT(verify(program).empty(), "invalid program");
+  SliceMasks masks;
+  masks.helper_mask.assign(program.code.size(), false);
+  masks.spine_mask.assign(program.code.size(), false);
+
+  // Seeds: the delinquent loads the helper exists to prefetch.
+  bool any_seed = false;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const Instr& ins = program.code[i];
+    if (ins.op == OpCode::kLoad && (ins.flags & kFlagDelinquent) != 0) {
+      masks.helper_mask[i] = true;
+      any_seed = true;
+    }
+  }
+  SPF_ASSERT(any_seed, "program has no delinquent loads to slice for");
+  close(program, masks.helper_mask);
+
+  // Spine: maintenance of *loop-carried* registers within the helper slice.
+  // A register is loop-carried iff its first access in the body (program
+  // order) is a read — its value flows in from the previous outer iteration
+  // (EM3D's node pointer). Registers written before being read are
+  // iteration-local scratch (MST's chain cursor, EM3D's accumulator) and
+  // need no maintenance in skipped iterations.
+  std::vector<bool> seen_write(program.num_regs, false);
+  std::vector<bool> loop_carried(program.num_regs, false);
+  for (const Instr& ins : program.code) {
+    if (ins.op == OpCode::kRegRead && !seen_write[ins.imm]) {
+      loop_carried[ins.imm] = true;
+    }
+    if (ins.op == OpCode::kRegWrite) seen_write[ins.imm] = true;
+  }
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (masks.helper_mask[i] && program.code[i].op == OpCode::kRegWrite &&
+        loop_carried[program.code[i].imm]) {
+      masks.spine_mask[i] = true;
+    }
+  }
+  close(program, masks.spine_mask);
+
+  // The spine is a subset of the helper slice by construction (its seeds and
+  // every closure rule stay inside the helper closure).
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    SPF_DEBUG_ASSERT(!masks.spine_mask[i] || masks.helper_mask[i],
+                     "spine escaped the helper slice");
+  }
+  return masks;
+}
+
+Program strip(const Program& program, const std::vector<bool>& mask) {
+  SPF_ASSERT(mask.size() == program.code.size(), "mask must cover the program");
+  Program out;
+  out.outer_trip = program.outer_trip;
+  out.num_regs = program.num_regs;
+  out.reg_init = program.reg_init;
+
+  std::vector<std::int32_t> remap(program.code.size(), -1);
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (!mask[i]) continue;
+    Instr ins = program.code[i];
+    auto remap_operand = [&](std::int32_t v) {
+      if (v < 0) return v;
+      const std::int32_t m = remap[static_cast<std::size_t>(v)];
+      SPF_ASSERT(m >= 0, "mask is not closed: kept instruction references a "
+                         "dropped value");
+      return m;
+    };
+    ins.a = remap_operand(ins.a);
+    ins.b = remap_operand(ins.b);
+    remap[i] = static_cast<std::int32_t>(out.code.size());
+    out.code.push_back(ins);
+  }
+  SPF_ASSERT(verify(out).empty(), "stripped program failed verification");
+  return out;
+}
+
+SliceStats slice_stats(const Program& program, const SliceMasks& masks) {
+  SliceStats stats;
+  stats.program_instrs = program.code.size();
+  stats.helper_instrs = masks.helper_count();
+  stats.spine_instrs = masks.spine_count();
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (masks.helper_mask[i]) continue;
+    if (program.code[i].op == OpCode::kStore) {
+      ++stats.dropped_stores;
+    } else {
+      ++stats.dropped_compute;
+    }
+  }
+  return stats;
+}
+
+}  // namespace spf::ir

@@ -1,0 +1,14 @@
+#include "spf/ir/vm.hpp"
+
+namespace spf::ir {
+
+std::uint64_t VirtualMemory::read(Addr addr) const {
+  const auto it = words_.find(align(addr));
+  return it == words_.end() ? 0 : it->second;
+}
+
+void VirtualMemory::write(Addr addr, std::uint64_t value) {
+  words_[align(addr)] = value;
+}
+
+}  // namespace spf::ir

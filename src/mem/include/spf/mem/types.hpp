@@ -1,0 +1,58 @@
+// Fundamental vocabulary types shared by every simulator layer.
+#pragma once
+
+#include <cstdint>
+
+namespace spf {
+
+/// Byte address in the simulated (or traced) address space.
+using Addr = std::uint64_t;
+
+/// Cache-line-granular address: Addr >> log2(line size).
+using LineAddr = std::uint64_t;
+
+/// Simulated clock cycles.
+using Cycle = std::uint64_t;
+
+/// Simulated core index.
+using CoreId = std::uint32_t;
+
+/// What kind of memory operation an access is.
+enum class AccessKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  /// Non-binding software prefetch (helper thread or explicit prefetch
+  /// instruction): fills the cache but never stalls the issuer on the fill.
+  kPrefetch = 2,
+};
+
+/// Which agent caused a cache line to be filled. The pollution tracker keys
+/// its three paper-defined cases off this tag.
+enum class FillOrigin : std::uint8_t {
+  /// Demand access from a main (computation) thread.
+  kDemand = 0,
+  /// Software prefetch issued by the SP helper thread.
+  kHelper = 1,
+  /// Hardware prefetcher (stream or DPL stride).
+  kHardware = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kPrefetch: return "prefetch";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(FillOrigin o) noexcept {
+  switch (o) {
+    case FillOrigin::kDemand: return "demand";
+    case FillOrigin::kHelper: return "helper";
+    case FillOrigin::kHardware: return "hardware";
+  }
+  return "?";
+}
+
+}  // namespace spf

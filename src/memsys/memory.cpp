@@ -1,0 +1,24 @@
+#include "spf/memsys/memory.hpp"
+
+#include <algorithm>
+
+namespace spf {
+
+Cycle MemoryController::issue(Cycle now, FillOrigin origin) {
+  const Cycle start = std::max(now, next_start_);
+  next_start_ = start + config_.issue_interval;
+  ++stats_.requests;
+  ++stats_.requests_by_origin[static_cast<std::size_t>(origin)];
+  stats_.total_queue_delay += start - now;
+  stats_.busy_cycles += config_.issue_interval;
+  return start + config_.service_latency;
+}
+
+void MemoryController::writeback(Cycle now) {
+  const Cycle start = std::max(now, next_start_);
+  next_start_ = start + config_.issue_interval;
+  ++stats_.writebacks;
+  stats_.busy_cycles += config_.issue_interval;
+}
+
+}  // namespace spf

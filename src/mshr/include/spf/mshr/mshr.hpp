@@ -1,0 +1,101 @@
+// Miss Status Holding Register file.
+//
+// Tracks cache fills that have been *issued* but not yet *serviced*. This is
+// the structure that realizes the paper's access taxonomy (§V.B):
+//
+//   totally hit   — line valid in the cache at access time;
+//   partially hit — "the demanded data arrive in cache after its memory
+//                    request is issued but before its memory request is
+//                    serviced": the access merges into an outstanding MSHR
+//                    and waits only the residual latency;
+//   totally miss  — no line, no outstanding request: full memory round trip.
+//
+// Capacity is finite (real L2s have 10-32 MSHRs). When full, demand misses
+// stall until an entry frees; prefetches are simply dropped, which is also
+// what real prefetchers do under MSHR pressure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+struct MshrEntry {
+  LineAddr line = 0;
+  /// When the original miss was issued to memory.
+  Cycle issue_time = 0;
+  /// When the fill completes (data usable).
+  Cycle fill_time = 0;
+  /// Origin of the *first* requester (determines the fill's provenance tag).
+  FillOrigin origin = FillOrigin::kDemand;
+  CoreId core = 0;
+  /// Number of later requests that merged into this entry.
+  std::uint32_t merged = 0;
+  /// True once a demand request merged into a prefetch-initiated entry; the
+  /// fill is then accounted as wanted-by-processor.
+  bool demand_merged = false;
+  /// True when any requester was a store: the line installs dirty
+  /// (write-allocate) and will be written back on eviction.
+  bool write = false;
+};
+
+struct MshrStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t demand_merges_into_prefetch = 0;
+  std::uint64_t full_rejections = 0;
+  std::uint64_t peak_occupancy = 0;
+};
+
+class MshrFile {
+ public:
+  explicit MshrFile(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool full() const noexcept { return entries_.size() >= capacity_; }
+  [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
+
+  /// Outstanding entry for `line`, or nullptr.
+  [[nodiscard]] const MshrEntry* find(LineAddr line) const noexcept;
+
+  /// Allocate a new entry. Returns nullptr when the file is full (counted as
+  /// a rejection; the caller decides whether to stall or drop).
+  const MshrEntry* allocate(LineAddr line, Cycle issue, Cycle fill,
+                            FillOrigin origin, CoreId core);
+
+  /// Merge a secondary request into the outstanding entry for `line`.
+  /// `demand_requester` must be true only for accesses by a main computation
+  /// thread that are not prefetch instructions — only those upgrade a
+  /// prefetch-initiated fill to wanted-by-processor. Pre: find(line) !=
+  /// nullptr. Returns the (updated) entry.
+  const MshrEntry& merge(LineAddr line, bool demand_requester);
+
+  /// Record that a store targets the outstanding line (write-allocate).
+  /// No-op if the line has no entry.
+  void mark_write(LineAddr line);
+
+  /// Earliest outstanding completion time; Cycle max when empty.
+  [[nodiscard]] Cycle next_completion() const noexcept;
+
+  /// Remove and return every entry with fill_time <= now, in completion
+  /// order (callers install the fills into the cache).
+  std::vector<MshrEntry> drain_completed(Cycle now);
+
+  /// Allocation-free variant for the simulator hot path: clears `out` and
+  /// fills it with the completed entries in completion order.
+  void drain_completed_into(Cycle now, std::vector<MshrEntry>& out);
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  [[nodiscard]] MshrEntry* find_mut(LineAddr line) noexcept;
+
+  std::size_t capacity_;
+  std::vector<MshrEntry> entries_;  // small (<=32): linear scan wins
+  MshrStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,87 @@
+#include "spf/mshr/mshr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity) {
+  SPF_ASSERT(capacity > 0, "MSHR file needs positive capacity");
+  entries_.reserve(capacity);
+}
+
+MshrEntry* MshrFile::find_mut(LineAddr line) noexcept {
+  for (MshrEntry& e : entries_) {
+    if (e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+const MshrEntry* MshrFile::find(LineAddr line) const noexcept {
+  return const_cast<MshrFile*>(this)->find_mut(line);
+}
+
+const MshrEntry* MshrFile::allocate(LineAddr line, Cycle issue, Cycle fill,
+                                    FillOrigin origin, CoreId core) {
+  SPF_DEBUG_ASSERT(find(line) == nullptr, "duplicate MSHR allocation");
+  SPF_DEBUG_ASSERT(fill >= issue, "fill before issue");
+  if (full()) {
+    ++stats_.full_rejections;
+    return nullptr;
+  }
+  entries_.push_back(MshrEntry{.line = line,
+                               .issue_time = issue,
+                               .fill_time = fill,
+                               .origin = origin,
+                               .core = core});
+  ++stats_.allocations;
+  stats_.peak_occupancy = std::max<std::uint64_t>(stats_.peak_occupancy,
+                                                  entries_.size());
+  return &entries_.back();
+}
+
+const MshrEntry& MshrFile::merge(LineAddr line, bool demand_requester) {
+  MshrEntry* e = find_mut(line);
+  SPF_ASSERT(e != nullptr, "merge into missing MSHR entry");
+  ++e->merged;
+  ++stats_.merges;
+  if (demand_requester && e->origin != FillOrigin::kDemand &&
+      !e->demand_merged) {
+    e->demand_merged = true;
+    ++stats_.demand_merges_into_prefetch;
+  }
+  return *e;
+}
+
+void MshrFile::mark_write(LineAddr line) {
+  if (MshrEntry* e = find_mut(line)) e->write = true;
+}
+
+Cycle MshrFile::next_completion() const noexcept {
+  Cycle best = std::numeric_limits<Cycle>::max();
+  for (const MshrEntry& e : entries_) best = std::min(best, e.fill_time);
+  return best;
+}
+
+std::vector<MshrEntry> MshrFile::drain_completed(Cycle now) {
+  std::vector<MshrEntry> done;
+  drain_completed_into(now, done);
+  return done;
+}
+
+void MshrFile::drain_completed_into(Cycle now, std::vector<MshrEntry>& out) {
+  out.clear();
+  auto split = std::stable_partition(
+      entries_.begin(), entries_.end(),
+      [now](const MshrEntry& e) { return e.fill_time > now; });
+  out.assign(split, entries_.end());
+  entries_.erase(split, entries_.end());
+  std::sort(out.begin(), out.end(),
+            [](const MshrEntry& a, const MshrEntry& b) {
+              return a.fill_time < b.fill_time;
+            });
+}
+
+}  // namespace spf

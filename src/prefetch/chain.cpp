@@ -1,0 +1,45 @@
+#include "spf/prefetch/chain.hpp"
+
+#include <algorithm>
+
+namespace spf {
+
+void PrefetcherChain::add(std::unique_ptr<HwPrefetcher> engine) {
+  engines_.push_back(std::move(engine));
+}
+
+void PrefetcherChain::observe(const PrefetchObservation& obs,
+                              std::vector<LineAddr>& out) {
+  scratch_.clear();
+  for (auto& engine : engines_) engine->observe(obs, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  out.insert(out.end(), scratch_.begin(), scratch_.end());
+}
+
+void PrefetcherChain::reset() {
+  for (auto& engine : engines_) engine->reset();
+}
+
+std::string PrefetcherChain::name() const {
+  std::string n = "chain[";
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (i) n += "+";
+    n += engines_[i]->name();
+  }
+  n += "]";
+  return n;
+}
+
+PrefetcherChain PrefetcherChain::core2_default(std::uint32_t line_bytes) {
+  PrefetcherChain chain;
+  StrideConfig stride;
+  stride.line_bytes = line_bytes;
+  chain.add(std::make_unique<StridePrefetcher>(stride));
+  StreamConfig stream;
+  stream.line_bytes = line_bytes;
+  chain.add(std::make_unique<StreamPrefetcher>(stream));
+  return chain;
+}
+
+}  // namespace spf

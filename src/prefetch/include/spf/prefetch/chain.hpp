@@ -1,0 +1,34 @@
+// Composite prefetcher: fans one observation out to several engines and
+// deduplicates the merged candidate list. Mirrors the Core 2 arrangement of
+// one DPL + one streamer per core, both watching the same access stream.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "spf/prefetch/prefetcher.hpp"
+#include "spf/prefetch/stream.hpp"
+#include "spf/prefetch/stride.hpp"
+
+namespace spf {
+
+class PrefetcherChain final : public HwPrefetcher {
+ public:
+  PrefetcherChain() = default;
+
+  void add(std::unique_ptr<HwPrefetcher> engine);
+  [[nodiscard]] std::size_t engine_count() const noexcept { return engines_.size(); }
+
+  void observe(const PrefetchObservation& obs, std::vector<LineAddr>& out) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The paper testbed's per-core configuration: DPL stride + streamer.
+  static PrefetcherChain core2_default(std::uint32_t line_bytes = 64);
+
+ private:
+  std::vector<std::unique_ptr<HwPrefetcher>> engines_;
+  std::vector<LineAddr> scratch_;
+};
+
+}  // namespace spf

@@ -1,0 +1,62 @@
+// Stream prefetcher modelling Intel's L2 "streamer".
+//
+// Tracks up to `streams` concurrent line-granular streams, each confined to
+// one 4 KB page (real streamers do not cross page boundaries because they
+// work on physical addresses). Two consecutive misses to adjacent lines in
+// the same page arm a stream; while armed, each access at the stream head
+// pulls the window `distance` lines ahead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/prefetch/prefetcher.hpp"
+
+namespace spf {
+
+struct StreamConfig {
+  /// Concurrent stream trackers (Core 2 streamer tracks 8-16).
+  std::uint32_t streams = 16;
+  /// How many lines ahead of the head to run.
+  std::uint32_t distance = 4;
+  /// Lines issued per triggering access.
+  std::uint32_t degree = 2;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t page_bytes = 4096;
+};
+
+class StreamPrefetcher final : public HwPrefetcher {
+ public:
+  explicit StreamPrefetcher(const StreamConfig& config);
+
+  void observe(const PrefetchObservation& obs, std::vector<LineAddr>& out) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "streamer"; }
+
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  enum class State : std::uint8_t { kInvalid, kTraining, kArmed };
+
+  struct Stream {
+    State state = State::kInvalid;
+    std::uint64_t page = 0;   // page-granular address
+    LineAddr last_line = 0;   // last observed line in the stream
+    LineAddr sent_until = 0;  // highest (or lowest) line already requested
+    std::int8_t dir = 1;      // +1 ascending, -1 descending
+    std::uint64_t lru = 0;    // replacement stamp
+  };
+
+  Stream* find_page(std::uint64_t page);
+  Stream& victim();
+
+  StreamConfig config_;
+  std::uint32_t line_shift_;
+  std::uint32_t page_shift_;
+  std::uint32_t lines_per_page_;
+  std::vector<Stream> streams_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace spf

@@ -1,0 +1,50 @@
+// IP-stride prefetcher modelling Intel's DPL (Data Prefetch Logic).
+//
+// A direct-mapped table indexed by load-site id tracks the last address and
+// last stride per site with a saturating confidence counter. Once confidence
+// reaches the threshold, the prefetcher runs `degree` strides ahead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/prefetch/prefetcher.hpp"
+
+namespace spf {
+
+struct StrideConfig {
+  std::uint32_t table_entries = 256;
+  /// Confidence needed before issuing (2-bit saturating counter).
+  std::uint32_t threshold = 2;
+  std::uint32_t max_confidence = 3;
+  /// How many strides ahead to prefetch once confident.
+  std::uint32_t degree = 2;
+  std::uint32_t line_bytes = 64;
+};
+
+class StridePrefetcher final : public HwPrefetcher {
+ public:
+  explicit StridePrefetcher(const StrideConfig& config);
+
+  void observe(const PrefetchObservation& obs, std::vector<LineAddr>& out) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "dpl-stride"; }
+
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  struct Entry {
+    SiteId site = 0;
+    bool valid = false;
+    Addr last_addr = 0;
+    std::int64_t stride = 0;
+    std::uint32_t confidence = 0;
+  };
+
+  StrideConfig config_;
+  std::uint32_t line_shift_;
+  std::vector<Entry> table_;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace spf

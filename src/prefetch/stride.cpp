@@ -1,0 +1,57 @@
+#include "spf/prefetch/stride.hpp"
+
+#include <bit>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+StridePrefetcher::StridePrefetcher(const StrideConfig& config)
+    : config_(config),
+      line_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(config.line_bytes)))),
+      table_(config.table_entries) {
+  SPF_ASSERT(std::has_single_bit(static_cast<std::uint64_t>(config.table_entries)),
+             "stride table entries must be a power of two");
+  SPF_ASSERT(std::has_single_bit(static_cast<std::uint64_t>(config.line_bytes)),
+             "line size must be a power of two");
+  SPF_ASSERT(config.threshold <= config.max_confidence, "threshold above saturation");
+}
+
+void StridePrefetcher::observe(const PrefetchObservation& obs,
+                               std::vector<LineAddr>& out) {
+  Entry& e = table_[obs.site & (config_.table_entries - 1)];
+  if (!e.valid || e.site != obs.site) {
+    e = Entry{.site = obs.site, .valid = true, .last_addr = obs.addr};
+    return;
+  }
+  const auto stride = static_cast<std::int64_t>(obs.addr) -
+                      static_cast<std::int64_t>(e.last_addr);
+  if (stride == 0) return;  // same address: no trend information
+  if (stride == e.stride) {
+    if (e.confidence < config_.max_confidence) ++e.confidence;
+  } else {
+    e.stride = stride;
+    e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+  }
+  e.last_addr = obs.addr;
+  if (e.confidence < config_.threshold) return;
+
+  for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+    const auto target = static_cast<std::int64_t>(obs.addr) +
+                        e.stride * static_cast<std::int64_t>(d);
+    if (target < 0) break;
+    const LineAddr line = static_cast<Addr>(target) >> line_shift_;
+    if (line != (obs.addr >> line_shift_)) {
+      out.push_back(line);
+      ++issued_;
+    }
+  }
+}
+
+void StridePrefetcher::reset() {
+  for (Entry& e : table_) e = Entry{};
+  issued_ = 0;
+}
+
+}  // namespace spf

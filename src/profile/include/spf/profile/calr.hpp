@@ -1,0 +1,44 @@
+// CALR estimation.
+//
+// CALR (paper §II.A): "the ratio of cycles for computation over cycles for
+// data accesses in hot loop." SP's prefetch-ratio rule keys off it:
+// CALR ≈ 0 → RP = 0.5 (helper takes half the problem loads);
+// CALR ≥ 1 → RP = 1   (conventional helper threading).
+//
+// Computation cycles are read directly from the trace's compute_gap
+// annotations. Data-access cycles are estimated by replaying the trace
+// through stand-alone L1/L2 state models with fixed per-level latencies —
+// a single-threaded approximation of what the loop pays for its loads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spf/mem/geometry.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct CalrConfig {
+  CacheGeometry l1 = CacheGeometry::core2_l1d();
+  CacheGeometry l2 = CacheGeometry::core2_l2();
+  std::uint64_t l1_latency = 3;
+  std::uint64_t l2_latency = 14;
+  std::uint64_t memory_latency = 300;
+};
+
+struct CalrEstimate {
+  double calr = 0.0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t access_cycles = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] CalrEstimate estimate_calr(const TraceBuffer& trace,
+                                         const CalrConfig& config = {});
+
+}  // namespace spf

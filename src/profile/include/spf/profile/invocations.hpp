@@ -1,0 +1,35 @@
+// Set Affinity across hot-function invocations.
+//
+// The paper measures SA per hot-function call ("For each representative data
+// access stream sample in every application, we analyze Set Affinity of the
+// outer hot loop"): iteration counting restarts each invocation. This helper
+// analyzes each invocation independently and merges the samples; when no
+// single invocation is long enough to saturate any set (short-call hot
+// functions like MST's shrinking BlueRule scans), it falls back to the
+// cumulative stream and flags that it did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/mem/geometry.hpp"
+#include "spf/profile/set_affinity.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct WorkloadSaResult {
+  SetAffinityResult merged;
+  /// True when the fallback cumulative analysis was used.
+  bool cumulative_fallback = false;
+  std::uint32_t invocations_analyzed = 0;
+};
+
+/// `invocation_starts` lists the cumulative outer-iteration index at which
+/// each hot-function invocation begins; the first element must be 0.
+[[nodiscard]] WorkloadSaResult analyze_workload_sa(
+    const TraceBuffer& trace,
+    const std::vector<std::uint32_t>& invocation_starts,
+    const CacheGeometry& geometry);
+
+}  // namespace spf

@@ -1,0 +1,67 @@
+// Access-pattern classification — the paper's stated future work ("we would
+// try to analyze the effect of memory access pattern on prefetching
+// performance").
+//
+// Classifies each static load site by the distribution of its successive
+// address deltas:
+//
+//   kSequential — dominant delta within one cache line forward/backward
+//                 (streamer territory: hardware already covers it);
+//   kStrided    — one dominant constant delta beyond a line (DPL territory);
+//   kIrregular  — no dominant delta (pointer-chasing / hashed: the loads SP
+//                 helper threading exists for).
+//
+// The per-site verdicts roll up into a stream-level mix that predicts how
+// much headroom SP has: helper prefetching pays off in proportion to the
+// irregular fraction, because the hardware prefetchers already serve the
+// rest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+enum class AccessPattern : std::uint8_t {
+  kSequential,
+  kStrided,
+  kIrregular,
+};
+
+[[nodiscard]] const char* to_string(AccessPattern p) noexcept;
+
+struct SitePattern {
+  AccessPattern pattern = AccessPattern::kIrregular;
+  /// Most frequent successive delta (bytes, signed).
+  std::int64_t dominant_delta = 0;
+  /// Fraction of deltas equal to the dominant one, in [0, 1].
+  double regularity = 0.0;
+  std::uint64_t accesses = 0;
+};
+
+struct PatternReport {
+  std::map<std::uint8_t, SitePattern> per_site;
+  /// Fractions of all accesses by their site's pattern class.
+  double sequential_fraction = 0.0;
+  double strided_fraction = 0.0;
+  double irregular_fraction = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PatternConfig {
+  /// Deltas with |delta| < line_bytes classify as sequential.
+  std::uint32_t line_bytes = 64;
+  /// Minimum dominant-delta share for a site to count as regular.
+  double regularity_threshold = 0.5;
+  /// Distinct deltas tracked per site (top-K sketch; the rest lump together).
+  std::uint32_t max_tracked_deltas = 16;
+};
+
+[[nodiscard]] PatternReport classify_patterns(const TraceBuffer& trace,
+                                              const PatternConfig& config = {});
+
+}  // namespace spf

@@ -1,0 +1,52 @@
+// Data-access phase detection (paper §III.C; technique from the authors'
+// earlier work [36]: "data access in our selected hot functions shows phase
+// behavior ... The data access phases of each hot function are detected
+// firstly").
+//
+// Classic signature-based detection: the stream is cut into fixed windows;
+// each window is summarized by a hashed set-touch signature vector; a phase
+// boundary is declared when the Manhattan distance between consecutive
+// window signatures exceeds a threshold. Windows are then greedily clustered
+// onto previously seen phase signatures so a program that alternates A-B-A-B
+// yields two phase ids, not four.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/mem/geometry.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct PhaseConfig {
+  /// Records per detection window.
+  std::uint32_t window_records = 8192;
+  /// Signature vector length (hash buckets over touched lines).
+  std::uint32_t signature_buckets = 256;
+  /// Normalized Manhattan distance in [0,2] above which two windows belong
+  /// to different phases.
+  double boundary_threshold = 0.5;
+};
+
+struct Phase {
+  /// Record range [begin, end) in the input trace.
+  std::size_t begin_record = 0;
+  std::size_t end_record = 0;
+  /// Stable id: windows matching an earlier phase reuse its id.
+  std::uint32_t phase_id = 0;
+};
+
+struct PhaseReport {
+  std::vector<Phase> phases;
+  /// Number of distinct phase ids.
+  std::uint32_t distinct_phases = 0;
+
+  [[nodiscard]] bool is_stable() const noexcept { return distinct_phases <= 1; }
+};
+
+[[nodiscard]] PhaseReport detect_phases(const TraceBuffer& trace,
+                                        const CacheGeometry& geometry,
+                                        const PhaseConfig& config = {});
+
+}  // namespace spf

@@ -1,0 +1,43 @@
+// Interval-based burst sampling (paper §III.C, after [36]).
+//
+// "The profiling mechanism in this paper is implemented using an
+//  interval-based burst sampling technique."
+//
+// A burst of consecutive records is kept, then an interval is skipped,
+// repeatedly. Bursts are aligned to outer-iteration boundaries so that Set
+// Affinity analysis inside a burst sees complete iterations — a burst that
+// cut an iteration in half would undercount that iteration's footprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct BurstConfig {
+  /// Outer iterations captured per burst.
+  std::uint32_t burst_iters = 512;
+  /// Outer iterations skipped between bursts.
+  std::uint32_t interval_iters = 4096;
+};
+
+/// One captured burst: records re-based so outer_iter starts at 0 within the
+/// burst (Set Affinity windows restart per burst, as the paper analyzes
+/// "each representative data access stream sample").
+struct Burst {
+  std::uint32_t first_outer_iter = 0;
+  TraceBuffer records;
+};
+
+/// Splits `trace` into bursts. Assumes outer_iter is non-decreasing (true of
+/// traces from the workload emitters).
+[[nodiscard]] std::vector<Burst> burst_sample(const TraceBuffer& trace,
+                                              const BurstConfig& config);
+
+/// Fraction of the input records retained across all bursts.
+[[nodiscard]] double sampled_fraction(const TraceBuffer& trace,
+                                      const std::vector<Burst>& bursts);
+
+}  // namespace spf

@@ -1,0 +1,90 @@
+// Set Affinity analysis — the paper's central profiling quantity.
+//
+// Definition 1 (paper §III.B): "Given a cache set address of an accessed
+// block, its Set Affinity is the iteration count of outer hot loop where the
+// sequential accessed blocks mapped in the specific cache set exceed its
+// capacity."
+//
+// The analyzer implements the paper's Figure 3 pseudo-code: stream the data
+// accesses of a hot loop; per cache set, count *distinct* blocks; when the
+// count reaches the set's associativity, record the current outer-loop
+// iteration count as that set's Set Affinity.
+//
+// Two modes:
+//  * kFirstSaturation — exactly Figure 3: one SA value per set, recorded the
+//    first time the set saturates (Table II's SA(L, Sx) ranges).
+//  * kRecurrent — after recording, the set's distinct-block window restarts,
+//    yielding the ongoing saturation *rate*; useful for long streams whose
+//    behaviour drifts across phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "spf/common/stats.hpp"
+#include "spf/mem/geometry.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+enum class SetAffinityMode : std::uint8_t { kFirstSaturation, kRecurrent };
+
+struct SetAffinityResult {
+  /// Sets that saturated, with their (first) Set Affinity in outer-loop
+  /// iterations.
+  std::unordered_map<std::uint64_t, std::uint32_t> per_set;
+  /// All SA samples (== per_set values in kFirstSaturation mode; possibly
+  /// many per set in kRecurrent mode).
+  std::vector<std::uint32_t> samples;
+  /// Distinct sets touched by the stream (saturated or not).
+  std::uint64_t touched_sets = 0;
+  std::uint64_t accesses = 0;
+  std::uint32_t outer_iterations = 0;
+
+  [[nodiscard]] bool any_saturated() const noexcept { return !samples.empty(); }
+  /// Range endpoints as Table II reports them.
+  [[nodiscard]] std::uint32_t min_sa() const;
+  [[nodiscard]] std::uint32_t max_sa() const;
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class SetAffinityAnalyzer {
+ public:
+  SetAffinityAnalyzer(const CacheGeometry& geometry,
+                      SetAffinityMode mode = SetAffinityMode::kFirstSaturation);
+
+  /// Stream one access belonging to outer-loop iteration `outer_iter`.
+  /// Iterations are 0-based; the recorded SA is `outer_iter + 1` ("iteration
+  /// count", per the paper).
+  void observe(Addr addr, std::uint32_t outer_iter);
+
+  /// Finalize and return the result. The analyzer may be reused afterwards
+  /// (state is reset).
+  SetAffinityResult finish();
+
+  /// Convenience: analyze a whole trace (demand records only — prefetch-kind
+  /// records are the helper's own traffic and are included, since the paper's
+  /// "Set Affinity with Helper Thread" counts every data access entity).
+  static SetAffinityResult analyze(
+      const TraceBuffer& trace, const CacheGeometry& geometry,
+      SetAffinityMode mode = SetAffinityMode::kFirstSaturation);
+
+ private:
+  struct SetState {
+    std::unordered_set<std::uint64_t> blocks;
+    bool saturated = false;
+    /// Outer iteration the current counting window started at.
+    std::uint32_t window_start = 0;
+  };
+
+  CacheGeometry geometry_;
+  SetAffinityMode mode_;
+  std::unordered_map<std::uint64_t, SetState> sets_;
+  SetAffinityResult result_;
+};
+
+}  // namespace spf

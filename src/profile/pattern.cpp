@@ -1,0 +1,103 @@
+#include "spf/profile/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+namespace {
+
+struct SiteState {
+  bool has_last = false;
+  Addr last_addr = 0;
+  std::uint64_t deltas = 0;
+  /// delta -> count, capped at max_tracked_deltas distinct keys.
+  std::unordered_map<std::int64_t, std::uint64_t> histogram;
+  std::uint64_t untracked = 0;
+  std::uint64_t accesses = 0;
+};
+
+}  // namespace
+
+const char* to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+std::string PatternReport::to_string() const {
+  std::ostringstream out;
+  out << "patterns{seq=" << sequential_fraction
+      << " strided=" << strided_fraction << " irregular=" << irregular_fraction
+      << " sites=" << per_site.size() << "}";
+  return out.str();
+}
+
+PatternReport classify_patterns(const TraceBuffer& trace,
+                                const PatternConfig& config) {
+  SPF_ASSERT(config.line_bytes > 0, "line size must be positive");
+  std::unordered_map<std::uint8_t, SiteState> sites;
+
+  for (const TraceRecord& r : trace) {
+    SiteState& s = sites[r.site];
+    ++s.accesses;
+    if (s.has_last) {
+      const auto delta = static_cast<std::int64_t>(r.addr) -
+                         static_cast<std::int64_t>(s.last_addr);
+      ++s.deltas;
+      auto it = s.histogram.find(delta);
+      if (it != s.histogram.end()) {
+        ++it->second;
+      } else if (s.histogram.size() < config.max_tracked_deltas) {
+        s.histogram.emplace(delta, 1);
+      } else {
+        ++s.untracked;
+      }
+    }
+    s.has_last = true;
+    s.last_addr = r.addr;
+  }
+
+  PatternReport report;
+  std::uint64_t total = 0;
+  std::uint64_t by_class[3] = {0, 0, 0};
+  for (const auto& [site, s] : sites) {
+    SitePattern verdict;
+    verdict.accesses = s.accesses;
+    if (s.deltas > 0 && !s.histogram.empty()) {
+      auto best = std::max_element(
+          s.histogram.begin(), s.histogram.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      verdict.dominant_delta = best->first;
+      verdict.regularity =
+          static_cast<double>(best->second) / static_cast<double>(s.deltas);
+    }
+    if (verdict.regularity >= config.regularity_threshold) {
+      const auto mag = verdict.dominant_delta < 0 ? -verdict.dominant_delta
+                                                  : verdict.dominant_delta;
+      verdict.pattern = mag <= config.line_bytes ? AccessPattern::kSequential
+                                                 : AccessPattern::kStrided;
+    } else {
+      verdict.pattern = AccessPattern::kIrregular;
+    }
+    by_class[static_cast<int>(verdict.pattern)] += s.accesses;
+    total += s.accesses;
+    report.per_site.emplace(site, verdict);
+  }
+  if (total > 0) {
+    report.sequential_fraction =
+        static_cast<double>(by_class[0]) / static_cast<double>(total);
+    report.strided_fraction =
+        static_cast<double>(by_class[1]) / static_cast<double>(total);
+    report.irregular_fraction =
+        static_cast<double>(by_class[2]) / static_cast<double>(total);
+  }
+  return report;
+}
+
+}  // namespace spf

@@ -1,0 +1,100 @@
+#include "spf/profile/phase.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "spf/common/assert.hpp"
+#include "spf/common/rng.hpp"
+
+namespace spf {
+namespace {
+
+using Signature = std::vector<double>;
+
+/// Normalized so that signatures sum to 1; Manhattan distance then lies in
+/// [0, 2].
+Signature window_signature(std::span<const TraceRecord> window,
+                           const CacheGeometry& geometry,
+                           std::uint32_t buckets) {
+  Signature sig(buckets, 0.0);
+  for (const TraceRecord& r : window) {
+    const LineAddr line = geometry.line_of(r.addr);
+    // SplitMix64 as a line hash decorrelates bucket collisions from the
+    // address layout (plain modulo would alias strided footprints).
+    const std::uint64_t h = SplitMix64(line).next();
+    sig[h % buckets] += 1.0;
+  }
+  const auto total = static_cast<double>(window.size());
+  if (total > 0) {
+    for (double& v : sig) v /= total;
+  }
+  return sig;
+}
+
+double manhattan(const Signature& a, const Signature& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+PhaseReport detect_phases(const TraceBuffer& trace, const CacheGeometry& geometry,
+                          const PhaseConfig& config) {
+  SPF_ASSERT(config.window_records > 0, "window must be positive");
+  SPF_ASSERT(config.signature_buckets > 0, "signature needs buckets");
+
+  PhaseReport report;
+  if (trace.empty()) return report;
+
+  const std::span<const TraceRecord> records = trace.records();
+  std::vector<Signature> phase_signatures;  // representative per phase id
+
+  std::size_t phase_begin = 0;
+  std::uint32_t current_phase = 0;
+  bool have_current = false;
+
+  for (std::size_t begin = 0; begin < records.size();
+       begin += config.window_records) {
+    const std::size_t end = std::min(begin + config.window_records, records.size());
+    const Signature sig = window_signature(records.subspan(begin, end - begin),
+                                           geometry, config.signature_buckets);
+
+    // Match against known phases; nearest signature under threshold wins.
+    std::uint32_t best_id = 0;
+    double best_dist = 2.0;
+    for (std::uint32_t id = 0; id < phase_signatures.size(); ++id) {
+      const double d = manhattan(sig, phase_signatures[id]);
+      if (d < best_dist) {
+        best_dist = d;
+        best_id = id;
+      }
+    }
+    std::uint32_t window_phase;
+    if (!phase_signatures.empty() && best_dist <= config.boundary_threshold) {
+      window_phase = best_id;
+    } else {
+      window_phase = static_cast<std::uint32_t>(phase_signatures.size());
+      phase_signatures.push_back(sig);
+    }
+
+    if (!have_current) {
+      have_current = true;
+      current_phase = window_phase;
+      phase_begin = begin;
+    } else if (window_phase != current_phase) {
+      report.phases.push_back(
+          Phase{.begin_record = phase_begin, .end_record = begin,
+                .phase_id = current_phase});
+      current_phase = window_phase;
+      phase_begin = begin;
+    }
+  }
+  report.phases.push_back(Phase{.begin_record = phase_begin,
+                                .end_record = records.size(),
+                                .phase_id = current_phase});
+  report.distinct_phases = static_cast<std::uint32_t>(phase_signatures.size());
+  return report;
+}
+
+}  // namespace spf

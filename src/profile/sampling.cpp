@@ -1,0 +1,44 @@
+#include "spf/profile/sampling.hpp"
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+std::vector<Burst> burst_sample(const TraceBuffer& trace,
+                                const BurstConfig& config) {
+  SPF_ASSERT(config.burst_iters > 0, "burst length must be positive");
+  std::vector<Burst> bursts;
+  if (trace.empty()) return bursts;
+
+  const std::uint32_t period = config.burst_iters + config.interval_iters;
+  Burst* current = nullptr;
+  [[maybe_unused]] std::uint32_t last_iter = 0;
+  for (const TraceRecord& r : trace) {
+    SPF_DEBUG_ASSERT(r.outer_iter >= last_iter, "outer_iter must be monotone");
+    last_iter = r.outer_iter;
+    const std::uint32_t phase_pos = r.outer_iter % period;
+    if (phase_pos >= config.burst_iters) {
+      current = nullptr;  // inside a skip interval
+      continue;
+    }
+    const std::uint32_t burst_start = r.outer_iter - phase_pos;
+    if (current == nullptr || current->first_outer_iter != burst_start) {
+      bursts.push_back(Burst{.first_outer_iter = burst_start, .records = {}});
+      current = &bursts.back();
+    }
+    TraceRecord rebased = r;
+    rebased.outer_iter = r.outer_iter - burst_start;
+    current->records.mutable_records().push_back(rebased);
+  }
+  return bursts;
+}
+
+double sampled_fraction(const TraceBuffer& trace,
+                        const std::vector<Burst>& bursts) {
+  if (trace.empty()) return 0.0;
+  std::uint64_t kept = 0;
+  for (const Burst& b : bursts) kept += b.records.size();
+  return static_cast<double>(kept) / static_cast<double>(trace.size());
+}
+
+}  // namespace spf

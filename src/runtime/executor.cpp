@@ -1,0 +1,77 @@
+#include "spf/runtime/executor.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "spf/common/assert.hpp"
+
+namespace spf::rt {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ExecutorReport SpExecutor::run(std::uint32_t rounds, const RoundFn& main_fn,
+                               const RoundFn& helper_fn) {
+  SPF_ASSERT(config_.max_lead_rounds >= 1, "helper must be allowed to lead");
+  ExecutorReport report;
+  if (rounds == 0) return report;
+
+  // main_round = first round the main thread has NOT finished entering;
+  // starts at 1 because entering round 0 is immediate.
+  std::atomic<std::uint32_t> main_round{1};
+  std::atomic<bool> main_done{false};
+  std::atomic<std::uint64_t> helper_waits{0};
+  std::atomic<std::uint64_t> helper_ns{0};
+
+  std::optional<std::pair<unsigned, unsigned>> pair;
+  if (config_.pin_threads) pair = pick_sp_cpu_pair();
+  report.threads_were_pinned = pair.has_value();
+
+  std::thread helper([&] {
+    if (pair) pin_current_thread(pair->second);
+    const std::uint64_t t0 = now_ns();
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      // Gate: round r needs main to have entered round r, and the helper may
+      // lead by at most max_lead_rounds.
+      bool waited = false;
+      while (!main_done.load(std::memory_order_acquire) &&
+             main_round.load(std::memory_order_acquire) + config_.max_lead_rounds
+                 <= r + 1) {
+        waited = true;
+        std::this_thread::yield();
+      }
+      if (waited) helper_waits.fetch_add(1, std::memory_order_relaxed);
+      if (main_done.load(std::memory_order_acquire)) break;  // nothing to help
+      helper_fn(r);
+    }
+    helper_ns.store(now_ns() - t0, std::memory_order_relaxed);
+  });
+
+  if (pair) pin_current_thread(pair->first);
+  const std::uint64_t t0 = now_ns();
+  try {
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      main_round.store(r + 1, std::memory_order_release);
+      main_fn(r);
+    }
+  } catch (...) {
+    main_done.store(true, std::memory_order_release);
+    helper.join();
+    throw;
+  }
+  report.main_ns = now_ns() - t0;
+  main_done.store(true, std::memory_order_release);
+  helper.join();
+  report.helper_ns = helper_ns.load(std::memory_order_relaxed);
+  report.helper_waits = helper_waits.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,62 @@
+// Real-thread SP executor.
+//
+// Runs a main kernel and an SP helper kernel concurrently with the paper's
+// round-level staggering: the hot loop is cut into rounds of A_SKI + A_PRE
+// outer iterations; the helper may work on round k only once the main thread
+// has entered round k, and may run at most `max_lead_rounds` rounds ahead —
+// the run-ahead clamp that keeps a fast helper from strip-mining the cache
+// arbitrarily far in front (prefetch distance stays ~A_SKI iterations).
+//
+// Synchronization is two monotonic atomic round counters and spin-waits with
+// a yield fallback — the helper is a throwaway prefetching thread; blocking
+// primitives would cost more than the loads it issues.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "spf/runtime/pinning.hpp"
+
+namespace spf::rt {
+
+struct ExecutorConfig {
+  /// Rounds the helper may lead the main thread by (>= 1).
+  std::uint32_t max_lead_rounds = 1;
+  /// Pin main/helper to distinct CPUs when a pair is available.
+  bool pin_threads = true;
+};
+
+struct ExecutorReport {
+  std::uint64_t main_ns = 0;
+  std::uint64_t helper_ns = 0;
+  /// Rounds the helper actually waited at the barrier.
+  std::uint64_t helper_waits = 0;
+  bool threads_were_pinned = false;
+};
+
+/// Per-round kernels. `round` is 0-based; each callee processes the outer
+/// iterations belonging to that round.
+using RoundFn = std::function<void(std::uint32_t round)>;
+
+class SpExecutor {
+ public:
+  explicit SpExecutor(const ExecutorConfig& config = {}) : config_(config) {}
+
+  /// Runs main_fn for rounds [0, rounds) on the calling thread and helper_fn
+  /// on a second thread under the staggering protocol. Exceptions from
+  /// main_fn propagate; helper_fn must not throw (it would have nowhere to
+  /// go — prefetching is best-effort).
+  ExecutorReport run(std::uint32_t rounds, const RoundFn& main_fn,
+                     const RoundFn& helper_fn);
+
+ private:
+  ExecutorConfig config_;
+};
+
+/// Non-binding prefetch of the line containing `p`.
+inline void prefetch_line(const void* p) noexcept {
+  __builtin_prefetch(p, 0 /*read*/, 1 /*low temporal locality*/);
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,24 @@
+// Thread placement. SP's effectiveness depends on the main and helper
+// threads sharing a last-level cache but not a core — on the paper's Core 2
+// Quad that means two cores of the same die. These helpers pin threads and
+// report the topology available.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace spf::rt {
+
+/// Number of CPUs usable by this process.
+[[nodiscard]] unsigned online_cpus();
+
+/// Pins the calling thread to `cpu`. Returns false (and leaves affinity
+/// untouched) if the CPU does not exist or the call is not permitted.
+bool pin_current_thread(unsigned cpu);
+
+/// A (main, helper) CPU pair for SP, or nullopt on single-CPU machines —
+/// callers should then run unpinned and expect no speedup, only correctness.
+[[nodiscard]] std::optional<std::pair<unsigned, unsigned>> pick_sp_cpu_pair();
+
+}  // namespace spf::rt

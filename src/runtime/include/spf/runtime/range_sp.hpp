@@ -1,0 +1,84 @@
+// High-level SP driver for array-scan hot loops (MCF's pricing-loop shape).
+//
+// Unlike the linked-list driver, the helper can jump straight to any index,
+// so the skip phase costs nothing: per round of A_SKI + A_PRE indices the
+// helper touches only the last A_PRE. With RP = 1 (A_SKI = 0) this is
+// conventional helper threading over the array.
+//
+// Visitors:
+//   main_visit(size_t i)          — the loop body;
+//   helper_touch(size_t i)        — prefetch for index i (must not mutate).
+#pragma once
+
+#include <cstdint>
+
+#include "spf/common/assert.hpp"
+#include "spf/core/sp_params.hpp"
+#include "spf/runtime/executor.hpp"
+
+namespace spf::rt {
+
+struct RangeSpReport {
+  ExecutorReport executor;
+  std::uint64_t indices_visited = 0;
+  /// Indices the helper touched. May be less than the static maximum when
+  /// the main loop finishes before the helper gets scheduled.
+  std::uint64_t indices_prefetched = 0;
+};
+
+/// Indices the helper touches in round r (pure logic, directly testable):
+/// [r*round + a_ski, min((r+1)*round, n)).
+template <typename HelperTouch>
+std::uint64_t helper_touch_round(std::size_t n, std::uint32_t r,
+                                 const SpParams& params,
+                                 HelperTouch&& helper_touch) {
+  const std::uint64_t round = params.round();
+  const std::uint64_t begin = static_cast<std::uint64_t>(r) * round + params.a_ski;
+  const std::uint64_t end =
+      std::min<std::uint64_t>((static_cast<std::uint64_t>(r) + 1) * round, n);
+  std::uint64_t touched = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    helper_touch(static_cast<std::size_t>(i));
+    ++touched;
+  }
+  return touched;
+}
+
+template <typename MainVisit, typename HelperTouch>
+RangeSpReport run_sp_over_range(std::size_t n, const SpParams& params,
+                                MainVisit&& main_visit,
+                                HelperTouch&& helper_touch,
+                                const ExecutorConfig& exec_config = {}) {
+  RangeSpReport report;
+  if (n == 0) return report;
+  const std::uint64_t round = params.round();
+  SPF_ASSERT(round > 0, "round must be positive");
+  const auto rounds =
+      static_cast<std::uint32_t>((n + round - 1) / round);
+
+  std::uint64_t visited = 0;
+  struct alignas(64) PaddedCounter {
+    std::uint64_t value = 0;
+  };
+  PaddedCounter prefetched;
+
+  SpExecutor executor(exec_config);
+  report.executor = executor.run(
+      rounds,
+      [&](std::uint32_t r) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(r) * round;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + round, n);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          main_visit(static_cast<std::size_t>(i));
+          ++visited;
+        }
+      },
+      [&](std::uint32_t r) {
+        prefetched.value += helper_touch_round(n, r, params, helper_touch);
+      });
+  report.indices_visited = visited;
+  report.indices_prefetched = prefetched.value;
+  return report;
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,49 @@
+#include "spf/runtime/pinning.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace spf::rt {
+
+unsigned online_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+bool pin_current_thread(unsigned cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+std::optional<std::pair<unsigned, unsigned>> pick_sp_cpu_pair() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0 || CPU_COUNT(&set) < 2) {
+    return std::nullopt;
+  }
+  int first = -1;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &set)) continue;
+    if (first < 0) {
+      first = cpu;
+    } else {
+      // Adjacent CPU ids usually share a die/LLC; without parsing sysfs
+      // topology this is the best portable guess.
+      return std::make_pair(static_cast<unsigned>(first),
+                            static_cast<unsigned>(cpu));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,52 @@
+// Shared-cache occupancy composition over time.
+//
+// The paper's §III.A argument is about *occupancy*: "the bigger the prefetch
+// distance A_SKI, the larger the active data set since the prefetched data
+// must be kept longer time in shared cache". This sampler periodically
+// snapshots the shared L2 and splits its valid lines by provenance —
+// demand-owned, helper-prefetched (used / still unused), hardware-prefetched
+// (used / still unused) — turning that argument into a measurable series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spf/cache/cache.hpp"
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+struct OccupancySample {
+  Cycle when = 0;
+  std::uint64_t demand_lines = 0;
+  std::uint64_t helper_used = 0;
+  std::uint64_t helper_unused = 0;
+  std::uint64_t hw_used = 0;
+  std::uint64_t hw_unused = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return demand_lines + helper_used + helper_unused + hw_used + hw_unused;
+  }
+  /// Lines brought in by a prefetcher that the processor has not consumed —
+  /// the "active data set" inflation prefetching causes.
+  [[nodiscard]] std::uint64_t unused_prefetch() const noexcept {
+    return helper_unused + hw_unused;
+  }
+};
+
+/// Scans every valid line of `cache` into one sample stamped `when`.
+[[nodiscard]] OccupancySample snapshot_occupancy(const Cache& cache, Cycle when);
+
+struct OccupancySeries {
+  std::vector<OccupancySample> samples;
+
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+  /// Mean fraction of valid lines that are unused prefetches across samples.
+  [[nodiscard]] double mean_unused_prefetch_fraction() const;
+  /// Largest unused-prefetch line count seen.
+  [[nodiscard]] std::uint64_t peak_unused_prefetch() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace spf

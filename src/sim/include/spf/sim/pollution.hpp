@@ -1,0 +1,89 @@
+// Cache pollution accounting, implementing the paper's three cases (§II.C):
+//
+//   "Cache pollution due to threaded prefetching can happen in several cases:
+//    1. A prematurely prefetched block displaces data in the cache that will
+//       be reused by the processor.
+//    2. A prematurely prefetched block displaces data in the cache that is
+//       just fetched by helper thread but still not be used by the processor.
+//    3. A prematurely prefetched block displaces data in the cache that is
+//       just prefetched by hardware prefetchers but still not be used by the
+//       processor."
+//
+// Cases 2 and 3 are decidable at eviction time from the victim's metadata
+// (an unused helper/hardware fill displaced by a prefetch fill). Case 1
+// needs future knowledge — "will be reused" — so evictions of *useful* data
+// by prefetch fills are remembered in a bounded shadow table; a later demand
+// miss on a shadowed line confirms the reuse and counts the event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spf/cache/cache.hpp"
+#include "spf/common/ring_buffer.hpp"
+#include "spf/mem/geometry.hpp"
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+struct PollutionStats {
+  /// Prefetch fill displaced useful data that was later demand-missed.
+  std::uint64_t case1_reuse_displaced = 0;
+  /// Prefetch fill displaced an unused helper-thread fill.
+  std::uint64_t case2_helper_displaced = 0;
+  /// Prefetch fill displaced an unused hardware-prefetch fill.
+  std::uint64_t case3_hw_displaced = 0;
+  /// All evictions whose *evictor* was a prefetch fill (denominator).
+  std::uint64_t prefetch_caused_evictions = 0;
+  /// All evictions (any cause).
+  std::uint64_t total_evictions = 0;
+
+  [[nodiscard]] std::uint64_t total_pollution() const noexcept {
+    return case1_reuse_displaced + case2_helper_displaced + case3_hw_displaced;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class PollutionTracker {
+ public:
+  /// `geometry` attributes every pollution event to its cache set, making
+  /// the per-set damage distribution (the spatial counterpart of per-set
+  /// Set Affinity) queryable afterwards.
+  PollutionTracker(std::uint32_t shadow_capacity, const CacheGeometry& geometry);
+
+  /// Feed every L2 eviction here.
+  void on_eviction(const Eviction& ev);
+
+  /// Feed every *demand* L2 totally-miss here. Returns true when the miss is
+  /// attributed to case-1 pollution (the line was recently displaced by a
+  /// prefetch fill).
+  bool on_demand_miss(LineAddr line);
+
+  [[nodiscard]] const PollutionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t shadow_size() const noexcept { return shadow_map_.size(); }
+
+  /// Pollution events attributed to `set`.
+  [[nodiscard]] std::uint64_t set_pollution(std::uint64_t set) const;
+  /// The n worst-hit sets, ordered by descending event count.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  top_polluted_sets(std::size_t n) const;
+  /// Number of sets with at least one pollution event.
+  [[nodiscard]] std::uint64_t polluted_set_count() const;
+
+ private:
+  void attribute(LineAddr line);
+
+  CacheGeometry geometry_;
+  PollutionStats stats_;
+  /// FIFO of shadowed lines bounding shadow_map_.
+  RingBuffer<LineAddr> shadow_order_;
+  /// line -> origin of the fill that evicted it.
+  std::unordered_map<LineAddr, FillOrigin> shadow_map_;
+  /// set -> pollution events (all three cases).
+  std::vector<std::uint64_t> per_set_;
+};
+
+}  // namespace spf

@@ -1,0 +1,96 @@
+// Trace-driven CMP simulator.
+//
+// Topology (one Core 2 die, paper Table I): N cores, each with a private L1D
+// and a per-core hardware prefetcher pair (DPL stride + streamer), sharing
+// one inclusive L2 with a finite MSHR file in front of a bandwidth-limited
+// memory channel.
+//
+// Execution model: each core consumes its TraceRecord stream; the engine
+// always advances the core with the smallest local clock (deterministic
+// tie-break by core id), so interleaving at the shared L2 is reproducible.
+// Timing is approximate at instruction granularity but exact in the ordering
+// relationships that matter for the paper's metrics: a fill is usable only
+// after its memory round trip; a second request to an in-flight line merges
+// and waits only the residual latency (partially hit).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "spf/cache/cache.hpp"
+#include "spf/memsys/memory.hpp"
+#include "spf/mshr/mshr.hpp"
+#include "spf/prefetch/chain.hpp"
+#include "spf/sim/config.hpp"
+#include "spf/sim/pollution.hpp"
+#include "spf/sim/result.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+/// One core's workload description.
+struct CoreStream {
+  const TraceBuffer* trace = nullptr;
+  /// Provenance tag for L2 fills caused by this core's accesses. Main
+  /// computation threads use kDemand; the SP helper uses kHelper so its fills
+  /// participate in pollution case 2.
+  FillOrigin origin = FillOrigin::kDemand;
+  /// Round-gated staggering against a leader core (SP helper threads).
+  std::optional<RoundSync> sync;
+};
+
+class CmpSimulator {
+ public:
+  explicit CmpSimulator(const SimConfig& config);
+
+  /// Runs all streams to completion and returns the metrics. Core i of the
+  /// result corresponds to streams[i]. The simulator is reusable: each run
+  /// starts from cold caches.
+  SimResult run(const std::vector<CoreStream>& streams);
+
+ private:
+  struct CoreState {
+    const TraceBuffer* trace = nullptr;
+    std::size_t cursor = 0;
+    Cycle clock = 0;
+    std::uint32_t outer_iter = 0;  // current outer iteration (last seen)
+    bool started = false;
+    FillOrigin origin = FillOrigin::kDemand;
+    std::optional<RoundSync> sync;
+    bool was_gated = false;
+    std::unique_ptr<Cache> l1;
+    std::unique_ptr<PrefetcherChain> prefetcher;
+    ThreadMetrics metrics;
+  };
+
+  void reset(const std::vector<CoreStream>& streams);
+  [[nodiscard]] bool gated(const CoreState& core) const;
+  void step(CoreId id);
+  /// Demand path for one record; returns the completion time of the access.
+  Cycle demand_access(CoreState& core, CoreId id, const TraceRecord& rec,
+                      Cycle start);
+  /// Software-prefetch path (non-binding, never stalls the core).
+  Cycle software_prefetch(CoreState& core, CoreId id, const TraceRecord& rec,
+                          Cycle start);
+  /// Install every completed fill with fill_time <= now into the L2.
+  void drain_l2(Cycle now);
+  /// Issue hardware-prefetch candidates produced by `core`'s prefetcher.
+  void issue_hw_prefetches(CoreState& core, CoreId id, const TraceRecord& rec,
+                           bool was_l2_miss, Cycle now);
+
+  SimConfig config_;
+  std::vector<CoreState> cores_;
+  std::unique_ptr<Cache> l2_;
+  std::unique_ptr<MshrFile> mshr_;
+  std::unique_ptr<MemoryController> memory_;
+  std::unique_ptr<PollutionTracker> pollution_;
+  std::uint64_t hw_prefetches_issued_ = 0;
+  std::vector<LineAddr> pf_scratch_;
+  std::vector<MshrEntry> drain_scratch_;
+  OccupancySeries occupancy_;
+  Cycle next_occupancy_sample_ = 0;
+};
+
+}  // namespace spf

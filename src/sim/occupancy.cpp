@@ -1,0 +1,56 @@
+#include "spf/sim/occupancy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spf {
+
+OccupancySample snapshot_occupancy(const Cache& cache, Cycle when) {
+  OccupancySample s;
+  s.when = when;
+  cache.for_each_line([&s](const CacheLine& line) {
+    switch (line.origin) {
+      case FillOrigin::kDemand:
+        ++s.demand_lines;
+        break;
+      case FillOrigin::kHelper:
+        ++(line.used_since_fill ? s.helper_used : s.helper_unused);
+        break;
+      case FillOrigin::kHardware:
+        ++(line.used_since_fill ? s.hw_used : s.hw_unused);
+        break;
+    }
+  });
+  return s;
+}
+
+double OccupancySeries::mean_unused_prefetch_fraction() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const OccupancySample& s : samples) {
+    if (s.total() == 0) continue;
+    sum += static_cast<double>(s.unused_prefetch()) /
+           static_cast<double>(s.total());
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+std::uint64_t OccupancySeries::peak_unused_prefetch() const {
+  std::uint64_t peak = 0;
+  for (const OccupancySample& s : samples) {
+    peak = std::max(peak, s.unused_prefetch());
+  }
+  return peak;
+}
+
+std::string OccupancySeries::to_string() const {
+  std::ostringstream out;
+  out << "occupancy{samples=" << samples.size()
+      << " mean_unused_pf_frac=" << mean_unused_prefetch_fraction()
+      << " peak_unused_pf=" << peak_unused_prefetch() << "}";
+  return out.str();
+}
+
+}  // namespace spf

@@ -1,0 +1,97 @@
+#include "spf/sim/pollution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spf {
+
+std::string PollutionStats::to_string() const {
+  std::ostringstream out;
+  out << "pollution{case1=" << case1_reuse_displaced
+      << " case2=" << case2_helper_displaced
+      << " case3=" << case3_hw_displaced
+      << " prefetch_evictions=" << prefetch_caused_evictions
+      << " total_evictions=" << total_evictions << "}";
+  return out.str();
+}
+
+PollutionTracker::PollutionTracker(std::uint32_t shadow_capacity,
+                                   const CacheGeometry& geometry)
+    : geometry_(geometry), shadow_order_(shadow_capacity),
+      per_set_(geometry.num_sets(), 0) {
+  shadow_map_.reserve(shadow_capacity);
+}
+
+void PollutionTracker::attribute(LineAddr line) {
+  ++per_set_[geometry_.set_of_line(line)];
+}
+
+std::uint64_t PollutionTracker::set_pollution(std::uint64_t set) const {
+  return set < per_set_.size() ? per_set_[set] : 0;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+PollutionTracker::top_polluted_sets(std::size_t n) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sets;
+  for (std::uint64_t s = 0; s < per_set_.size(); ++s) {
+    if (per_set_[s] > 0) sets.emplace_back(s, per_set_[s]);
+  }
+  std::sort(sets.begin(), sets.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (sets.size() > n) sets.resize(n);
+  return sets;
+}
+
+std::uint64_t PollutionTracker::polluted_set_count() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t c : per_set_) n += c > 0;
+  return n;
+}
+
+void PollutionTracker::on_eviction(const Eviction& ev) {
+  ++stats_.total_evictions;
+  const bool evictor_is_prefetch =
+      ev.replaced_by_origin == FillOrigin::kHelper ||
+      ev.replaced_by_origin == FillOrigin::kHardware;
+  if (!evictor_is_prefetch) {
+    // Demand fills can also displace useful data; that is ordinary capacity/
+    // conflict behaviour, not prefetch pollution. Drop any stale shadow for
+    // the victim so a later re-miss is not misattributed.
+    shadow_map_.erase(ev.victim.line);
+    return;
+  }
+  ++stats_.prefetch_caused_evictions;
+
+  const bool victim_unused_prefetch = !ev.victim.used_since_fill &&
+                                      ev.victim.origin != FillOrigin::kDemand;
+  if (victim_unused_prefetch) {
+    if (ev.victim.origin == FillOrigin::kHelper) {
+      ++stats_.case2_helper_displaced;
+    } else {
+      ++stats_.case3_hw_displaced;
+    }
+    attribute(ev.victim.line);
+    return;
+  }
+
+  // Victim was useful data (demand-filled, or a prefetch the processor had
+  // already consumed). Whether it "will be reused" is only known when a later
+  // demand miss returns for it — shadow it.
+  LineAddr dropped = 0;
+  if (shadow_order_.push(ev.victim.line, &dropped)) {
+    shadow_map_.erase(dropped);
+  }
+  shadow_map_[ev.victim.line] = ev.replaced_by_origin;
+}
+
+bool PollutionTracker::on_demand_miss(LineAddr line) {
+  auto it = shadow_map_.find(line);
+  if (it == shadow_map_.end()) return false;
+  shadow_map_.erase(it);
+  ++stats_.case1_reuse_displaced;
+  attribute(line);
+  return true;
+}
+
+}  // namespace spf

@@ -1,0 +1,33 @@
+#include "spf/sim/result.hpp"
+
+#include <sstream>
+
+namespace spf {
+
+std::string ThreadMetrics::to_string() const {
+  std::ostringstream out;
+  out << "demand=" << demand_accesses << " l1_hits=" << l1_hits
+      << " l2_lookups=" << l2_lookups << " Thit=" << totally_hits
+      << " Phit=" << partially_hits << " Tmiss=" << totally_misses
+      << " mem_acc=" << memory_accesses() << " pf(issued=" << prefetches_issued
+      << ",elided=" << prefetches_elided << ",dropped=" << prefetches_dropped
+      << ") stall=" << stall_cycles << " finish=" << finish_time;
+  return out.str();
+}
+
+std::string SimResult::to_string() const {
+  std::ostringstream out;
+  out << "makespan=" << makespan << "\n";
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    out << "  core" << c << ": " << per_core[c].to_string() << "\n";
+  }
+  out << "  " << pollution.to_string() << "\n";
+  out << "  l2: hits=" << l2.hits << " misses=" << l2.misses
+      << " evictions=" << l2.evictions << "\n";
+  out << "  mem: requests=" << memory.requests
+      << " mean_queue_delay=" << memory.mean_queue_delay()
+      << " hw_prefetches=" << hw_prefetches_issued << "\n";
+  return out.str();
+}
+
+}  // namespace spf

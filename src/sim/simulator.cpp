@@ -1,0 +1,273 @@
+#include "spf/sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+CmpSimulator::CmpSimulator(const SimConfig& config) : config_(config) {}
+
+void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
+  SPF_ASSERT(!streams.empty(), "simulator needs at least one stream");
+  l2_ = std::make_unique<Cache>(config_.l2, config_.replacement, config_.seed);
+  mshr_ = std::make_unique<MshrFile>(config_.l2_mshrs);
+  memory_ = std::make_unique<MemoryController>(config_.memory);
+  pollution_ =
+      std::make_unique<PollutionTracker>(config_.shadow_capacity, config_.l2);
+  hw_prefetches_issued_ = 0;
+  occupancy_ = OccupancySeries{};
+  next_occupancy_sample_ = config_.occupancy_sample_interval;
+
+  cores_.clear();
+  cores_.resize(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    CoreState& core = cores_[i];
+    SPF_ASSERT(streams[i].trace != nullptr, "core stream without a trace");
+    core.trace = streams[i].trace;
+    core.origin = streams[i].origin;
+    core.sync = streams[i].sync;
+    if (core.sync) {
+      SPF_ASSERT(core.sync->leader < streams.size() && core.sync->leader != i,
+                 "round sync leader must be another configured core");
+      SPF_ASSERT(core.sync->round_iters > 0, "round length must be positive");
+    }
+    core.l1 = std::make_unique<Cache>(config_.l1, ReplacementKind::kLru,
+                                      config_.seed + i);
+    core.prefetcher = std::make_unique<PrefetcherChain>(
+        PrefetcherChain::core2_default(config_.l2.line_bytes()));
+  }
+}
+
+bool CmpSimulator::gated(const CoreState& core) const {
+  if (!core.sync || core.cursor >= core.trace->size()) return false;
+  const CoreState& leader = cores_[core.sync->leader];
+  if (leader.cursor >= leader.trace->size()) return false;  // leader done: open
+  const std::uint32_t next_round =
+      (*core.trace)[core.cursor].outer_iter / core.sync->round_iters;
+  const std::uint32_t leader_round =
+      leader.started ? leader.outer_iter / core.sync->round_iters : 0;
+  if (!leader.started && next_round == 0) return false;
+  return leader_round < next_round;
+}
+
+SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
+  reset(streams);
+
+  for (;;) {
+    CoreId pick = std::numeric_limits<CoreId>::max();
+    Cycle best = std::numeric_limits<Cycle>::max();
+    bool any_remaining = false;
+    for (CoreId i = 0; i < cores_.size(); ++i) {
+      CoreState& core = cores_[i];
+      if (core.cursor >= core.trace->size()) continue;
+      any_remaining = true;
+      if (gated(core)) {
+        core.was_gated = true;
+        continue;
+      }
+      if (core.was_gated) {
+        // The helper was spinning at the round barrier; it resumes at the
+        // moment the leader crossed into the round.
+        core.clock = std::max(core.clock, cores_[core.sync->leader].clock);
+        core.was_gated = false;
+      }
+      // Order cores by when their next access actually happens (current
+      // clock plus the pending record's compute gap), so shared-structure
+      // mutations occur in global time order.
+      const Cycle next = core.clock + (*core.trace)[core.cursor].compute_gap;
+      if (next < best) {
+        best = next;
+        pick = i;
+      }
+    }
+    if (!any_remaining) break;
+    SPF_ASSERT(pick != std::numeric_limits<CoreId>::max(),
+               "all remaining cores gated: sync cycle");
+    step(pick);
+  }
+
+  // Install every still-outstanding fill so final cache state and pollution
+  // accounting reflect all issued traffic.
+  drain_l2(std::numeric_limits<Cycle>::max());
+
+  SimResult result;
+  result.per_core.reserve(cores_.size());
+  for (CoreState& core : cores_) {
+    core.metrics.finish_time = core.clock;
+    result.per_core.push_back(core.metrics);
+    result.makespan = std::max(result.makespan, core.clock);
+  }
+  result.pollution = pollution_->stats();
+  result.l2 = l2_->stats();
+  result.mshr = mshr_->stats();
+  result.memory = memory_->stats();
+  result.hw_prefetches_issued = hw_prefetches_issued_;
+  result.occupancy = std::move(occupancy_);
+  result.polluted_set_count = pollution_->polluted_set_count();
+  result.top_polluted_sets = pollution_->top_polluted_sets(16);
+  return result;
+}
+
+void CmpSimulator::step(CoreId id) {
+  CoreState& core = cores_[id];
+  if (config_.occupancy_sample_interval != 0 &&
+      core.clock >= next_occupancy_sample_) {
+    occupancy_.samples.push_back(snapshot_occupancy(*l2_, core.clock));
+    // Skip ahead past idle gaps rather than emitting a backlog of samples.
+    while (next_occupancy_sample_ <= core.clock) {
+      next_occupancy_sample_ += config_.occupancy_sample_interval;
+    }
+  }
+  const TraceRecord& rec = (*core.trace)[core.cursor++];
+  core.outer_iter = rec.outer_iter;
+  core.started = true;
+
+  const Cycle start = core.clock + rec.compute_gap;
+  if (rec.kind() == AccessKind::kPrefetch) {
+    core.clock = software_prefetch(core, id, rec, start);
+  } else {
+    core.clock = demand_access(core, id, rec, start);
+  }
+}
+
+void CmpSimulator::drain_l2(Cycle now) {
+  if (mshr_->next_completion() > now) return;
+  mshr_->drain_completed_into(now, drain_scratch_);
+  for (const MshrEntry& fill : drain_scratch_) {
+    // A fill a demand request merged into is, by the time it lands, wanted
+    // data: tag it demand so its eviction is not miscounted as pollution
+    // cases 2/3.
+    const FillOrigin origin =
+        fill.demand_merged ? FillOrigin::kDemand : fill.origin;
+    if (auto evicted = l2_->fill(fill.line, origin, fill.core, fill.fill_time)) {
+      if (evicted->victim.dirty) memory_->writeback(fill.fill_time);
+      pollution_->on_eviction(*evicted);
+    }
+    if (fill.write) l2_->mark_dirty(fill.line);  // write-allocate installs dirty
+  }
+}
+
+Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
+                                  const TraceRecord& rec, Cycle start) {
+  ++core.metrics.demand_accesses;
+  const LineAddr line = config_.l2.line_of(rec.addr);
+
+  if (core.l1->access(config_.l1.line_of(rec.addr), rec.kind(), start)) {
+    ++core.metrics.l1_hits;
+    return start + config_.l1_latency;
+  }
+
+  const Cycle t = start + config_.l1_latency;
+  drain_l2(t);
+  ++core.metrics.l2_lookups;
+
+  // Only the main computation thread's touches count as "used by the
+  // processor": a helper hit on its own earlier fill must not clear the
+  // unused-prefetch status that pollution cases 2/3 are defined over.
+  const AccessKind l2_kind = core.origin == FillOrigin::kDemand
+                                 ? rec.kind()
+                                 : AccessKind::kPrefetch;
+  Cycle done;
+  bool was_l2_miss;
+  if (l2_->access(line, l2_kind, t)) {
+    // Totally hit: data resident in the shared L2.
+    ++core.metrics.totally_hits;
+    was_l2_miss = false;
+    done = t + config_.l2_latency;
+  } else if (const MshrEntry* inflight = mshr_->find(line)) {
+    // Partially hit: request already issued, not yet serviced. Wait out the
+    // residual latency only.
+    ++core.metrics.partially_hits;
+    was_l2_miss = true;
+    const Cycle fill_time = inflight->fill_time;
+    mshr_->merge(line, core.origin == FillOrigin::kDemand);
+    if (rec.kind() == AccessKind::kWrite) mshr_->mark_write(line);
+    done = std::max(t, fill_time) + config_.l2_latency;
+    core.metrics.stall_cycles += done - t;
+  } else {
+    // Totally miss: full memory round trip.
+    ++core.metrics.totally_misses;
+    was_l2_miss = true;
+    if (core.origin == FillOrigin::kDemand) {
+      // Case-1 pollution is defined over processor reuse only.
+      pollution_->on_demand_miss(line);
+    }
+    Cycle issue = t;
+    while (mshr_->full()) {
+      // Structural stall: wait for the earliest outstanding fill, install it,
+      // retry.
+      const Cycle next = mshr_->next_completion();
+      SPF_ASSERT(next != std::numeric_limits<Cycle>::max(),
+                 "MSHR full yet empty");
+      issue = std::max(issue, next);
+      drain_l2(issue);
+    }
+    const Cycle fill_time = memory_->issue(issue, core.origin);
+    // Note: a helper core's blocking load allocates with origin kHelper; the
+    // helper stalls on it, but the fill counts as wanted data only once the
+    // main thread touches it (used_since_fill stays false until then).
+    const MshrEntry* entry =
+        mshr_->allocate(line, issue, fill_time, core.origin, id);
+    SPF_ASSERT(entry != nullptr, "allocation after full-wait must succeed");
+    if (rec.kind() == AccessKind::kWrite) mshr_->mark_write(line);
+    done = fill_time + config_.l2_latency;
+    core.metrics.stall_cycles += done - t;
+  }
+
+  // L1 fill happens when the data returns; origin tag is per-core.
+  if (auto l1_evicted = core.l1->fill(config_.l1.line_of(rec.addr),
+                                      FillOrigin::kDemand, id, done)) {
+    // Private-L1 evictions are not shared-cache pollution; drop them.
+    (void)l1_evicted;
+  }
+
+  issue_hw_prefetches(core, id, rec, was_l2_miss, t);
+  return done;
+}
+
+Cycle CmpSimulator::software_prefetch(CoreState& core, CoreId id,
+                                      const TraceRecord& rec, Cycle start) {
+  // Non-binding prefetch: occupies the core for one issue slot only.
+  const Cycle t = start + 1;
+  const LineAddr line = config_.l2.line_of(rec.addr);
+  drain_l2(t);
+
+  if (l2_->probe(line) != nullptr || mshr_->find(line) != nullptr) {
+    ++core.metrics.prefetches_elided;
+    return t;
+  }
+  if (mshr_->full()) {
+    // Real prefetch instructions are dropped under MSHR pressure.
+    ++core.metrics.prefetches_dropped;
+    return t;
+  }
+  const FillOrigin origin = core.origin == FillOrigin::kDemand
+                                ? FillOrigin::kHelper
+                                : core.origin;
+  const Cycle fill_time = memory_->issue(t, origin);
+  mshr_->allocate(line, t, fill_time, origin, id);
+  ++core.metrics.prefetches_issued;
+  return t;
+}
+
+void CmpSimulator::issue_hw_prefetches(CoreState& core, CoreId id,
+                                       const TraceRecord& rec, bool was_l2_miss,
+                                       Cycle now) {
+  if (!config_.hw_prefetch) return;
+  pf_scratch_.clear();
+  core.prefetcher->observe(
+      PrefetchObservation{.addr = rec.addr, .site = rec.site,
+                          .was_miss = was_l2_miss},
+      pf_scratch_);
+  for (LineAddr line : pf_scratch_) {
+    if (l2_->probe(line) != nullptr || mshr_->find(line) != nullptr) continue;
+    if (mshr_->full()) break;  // hw prefetches never stall: drop the rest
+    const Cycle fill_time = memory_->issue(now, FillOrigin::kHardware);
+    mshr_->allocate(line, now, fill_time, FillOrigin::kHardware, id);
+    ++hw_prefetches_issued_;
+  }
+}
+
+}  // namespace spf

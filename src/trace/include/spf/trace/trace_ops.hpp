@@ -1,0 +1,38 @@
+// Trace transformations: filtering, slicing and rebasing. These are the
+// building blocks the profiling tools and tests compose — e.g. "the accesses
+// of hot-loop iterations [a, b)" or "only the delinquent loads of site 2".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+/// Records satisfying `keep` (in order).
+[[nodiscard]] TraceBuffer filter_trace(
+    const TraceBuffer& trace,
+    const std::function<bool(const TraceRecord&)>& keep);
+
+/// Records of one static load site.
+[[nodiscard]] TraceBuffer filter_by_site(const TraceBuffer& trace,
+                                         std::uint8_t site);
+
+/// Records with outer_iter in [begin_iter, end_iter); when `rebase` is set,
+/// outer_iter is shifted so the slice starts at 0 (what per-invocation
+/// analyses need).
+[[nodiscard]] TraceBuffer slice_iters(const TraceBuffer& trace,
+                                      std::uint32_t begin_iter,
+                                      std::uint32_t end_iter,
+                                      bool rebase = true);
+
+/// Only demand traffic (drops prefetch-kind records).
+[[nodiscard]] TraceBuffer demand_only(const TraceBuffer& trace);
+
+/// Shifts every record's outer_iter by `delta` (saturating at 0 for negative
+/// results). Used to model run-ahead when merging streams.
+[[nodiscard]] TraceBuffer shift_iters(const TraceBuffer& trace,
+                                      std::int64_t delta);
+
+}  // namespace spf

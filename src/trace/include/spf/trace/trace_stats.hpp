@@ -1,0 +1,39 @@
+// Descriptive statistics over a trace: footprint, per-site breakdown, and the
+// compute/access split that defines CALR.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "spf/mem/geometry.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct TraceSummary {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t spine_accesses = 0;
+  std::uint64_t delinquent_accesses = 0;
+  std::uint32_t outer_iterations = 0;
+  /// Distinct cache lines touched (at the geometry's line size).
+  std::uint64_t distinct_lines = 0;
+  /// Distinct cache sets touched.
+  std::uint64_t distinct_sets = 0;
+  /// Total compute cycles encoded in the trace (sum of compute_gap).
+  std::uint64_t compute_cycles = 0;
+  /// Accesses per static site.
+  std::map<std::uint8_t, std::uint64_t> per_site;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One pass over `trace` computing the summary with line/set granularity
+/// taken from `geometry`.
+[[nodiscard]] TraceSummary summarize_trace(const TraceBuffer& trace,
+                                           const CacheGeometry& geometry);
+
+}  // namespace spf

@@ -1,0 +1,33 @@
+#include "spf/trace/trace.hpp"
+
+#include <algorithm>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+TraceRecord TraceRecord::make(Addr addr, std::uint32_t outer_iter,
+                              AccessKind kind, std::uint8_t site,
+                              TraceFlags flags, std::uint32_t compute_gap) noexcept {
+  TraceRecord r;
+  r.addr = addr;
+  r.outer_iter = outer_iter;
+  r.compute_gap = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(compute_gap, 0xffffu));
+  r.site = site;
+  r.packed = static_cast<std::uint8_t>((static_cast<std::uint8_t>(kind) & 0x3) |
+                                       (flags << 2));
+  return r;
+}
+
+std::uint32_t TraceBuffer::outer_iterations() const noexcept {
+  std::uint32_t max_iter = 0;
+  bool any = false;
+  for (const TraceRecord& r : records_) {
+    max_iter = std::max(max_iter, r.outer_iter);
+    any = true;
+  }
+  return any ? max_iter + 1 : 0;
+}
+
+}  // namespace spf

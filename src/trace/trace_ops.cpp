@@ -1,0 +1,52 @@
+#include "spf/trace/trace_ops.hpp"
+
+#include <algorithm>
+
+namespace spf {
+
+TraceBuffer filter_trace(const TraceBuffer& trace,
+                         const std::function<bool(const TraceRecord&)>& keep) {
+  TraceBuffer out;
+  for (const TraceRecord& r : trace) {
+    if (keep(r)) out.mutable_records().push_back(r);
+  }
+  return out;
+}
+
+TraceBuffer filter_by_site(const TraceBuffer& trace, std::uint8_t site) {
+  return filter_trace(trace,
+                      [site](const TraceRecord& r) { return r.site == site; });
+}
+
+TraceBuffer slice_iters(const TraceBuffer& trace, std::uint32_t begin_iter,
+                        std::uint32_t end_iter, bool rebase) {
+  TraceBuffer out;
+  for (const TraceRecord& r : trace) {
+    if (r.outer_iter < begin_iter || r.outer_iter >= end_iter) continue;
+    TraceRecord copy = r;
+    if (rebase) copy.outer_iter -= begin_iter;
+    out.mutable_records().push_back(copy);
+  }
+  return out;
+}
+
+TraceBuffer demand_only(const TraceBuffer& trace) {
+  return filter_trace(trace, [](const TraceRecord& r) {
+    return r.kind() != AccessKind::kPrefetch;
+  });
+}
+
+TraceBuffer shift_iters(const TraceBuffer& trace, std::int64_t delta) {
+  TraceBuffer out;
+  out.reserve(trace.size());
+  for (const TraceRecord& r : trace) {
+    TraceRecord copy = r;
+    const std::int64_t shifted = static_cast<std::int64_t>(r.outer_iter) + delta;
+    copy.outer_iter =
+        shifted < 0 ? 0u : static_cast<std::uint32_t>(shifted);
+    out.mutable_records().push_back(copy);
+  }
+  return out;
+}
+
+}  // namespace spf

@@ -1,0 +1,48 @@
+#include "spf/trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace spf {
+
+TraceSummary summarize_trace(const TraceBuffer& trace,
+                             const CacheGeometry& geometry) {
+  TraceSummary s;
+  std::unordered_set<LineAddr> lines;
+  std::unordered_set<std::uint64_t> sets;
+  std::uint32_t max_iter = 0;
+  for (const TraceRecord& r : trace) {
+    ++s.accesses;
+    switch (r.kind()) {
+      case AccessKind::kRead: ++s.reads; break;
+      case AccessKind::kWrite: ++s.writes; break;
+      case AccessKind::kPrefetch: ++s.prefetches; break;
+    }
+    if (r.is_spine()) ++s.spine_accesses;
+    if (r.is_delinquent()) ++s.delinquent_accesses;
+    s.compute_cycles += r.compute_gap;
+    ++s.per_site[r.site];
+    const LineAddr line = geometry.line_of(r.addr);
+    lines.insert(line);
+    sets.insert(geometry.set_of_line(line));
+    max_iter = std::max(max_iter, r.outer_iter);
+  }
+  s.outer_iterations = s.accesses ? max_iter + 1 : 0;
+  s.distinct_lines = lines.size();
+  s.distinct_sets = sets.size();
+  return s;
+}
+
+std::string TraceSummary::to_string() const {
+  std::ostringstream out;
+  out << "accesses=" << accesses << " (r=" << reads << " w=" << writes
+      << " pf=" << prefetches << ")"
+      << " outer_iters=" << outer_iterations
+      << " lines=" << distinct_lines << " sets=" << distinct_sets
+      << " spine=" << spine_accesses << " delinquent=" << delinquent_accesses
+      << " compute_cycles=" << compute_cycles << " sites=" << per_site.size();
+  return out.str();
+}
+
+}  // namespace spf

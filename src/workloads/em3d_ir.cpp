@@ -1,0 +1,81 @@
+#include "spf/workloads/em3d_ir.hpp"
+
+namespace spf {
+namespace {
+
+// Node field offsets (64-byte node struct).
+constexpr std::uint64_t kValueOff = 0;
+constexpr std::uint64_t kNextOff = 8;
+constexpr std::uint64_t kCountOff = 16;
+constexpr std::uint64_t kPtrsOff = 24;
+constexpr std::uint64_t kCoeffsOff = 32;
+
+}  // namespace
+
+Em3dIr build_em3d_ir(const Em3dWorkload& model) {
+  const Em3dConfig& config = model.config();
+  Em3dIr out;
+
+  // ---- data: nodes, pointer rows, coefficient rows -------------------
+  for (std::uint32_t i = 0; i < config.nodes; ++i) {
+    const Addr node = model.node_addr(i);
+    const std::uint32_t next_index = (i + 1) % config.nodes;  // circular
+    out.memory.write(node + kValueOff, 1000 + i);
+    out.memory.write(node + kNextOff, model.node_addr(next_index));
+    out.memory.write(node + kCountOff, config.arity);
+    out.memory.write(node + kPtrsOff, model.ptr_row_addr(i));
+    out.memory.write(node + kCoeffsOff, model.coeff_row_addr(i));
+    const std::uint32_t* deps = model.targets_of(i);
+    for (std::uint32_t j = 0; j < config.arity; ++j) {
+      out.memory.write(model.ptr_row_addr(i) + static_cast<Addr>(j) * 8,
+                       model.node_addr(deps[j]) + kValueOff);
+      out.memory.write(model.coeff_row_addr(i) + static_cast<Addr>(j) * 8, 3);
+    }
+  }
+
+  // ---- code -----------------------------------------------------------
+  ir::ProgramBuilder b(config.nodes * config.passes);
+  const auto cur = b.reg_read(0);  // node pointer (reg0)
+  const auto c_next = b.constant(kNextOff);
+  const auto c_count = b.constant(kCountOff);
+  const auto c_ptrs = b.constant(kPtrsOff);
+  const auto c_coeffs = b.constant(kCoeffsOff);
+
+  // Node struct reads (one line; the spine-flagged next chase plus field
+  // loads the helper's address slice needs).
+  const auto next =
+      b.load(b.add(cur, c_next), kEm3dNode, kFlagSpine);
+  const auto count = b.load(b.add(cur, c_count), kEm3dNode, kFlagSpine);
+  const auto ptrs = b.load(b.add(cur, c_ptrs), kEm3dNode, kFlagSpine);
+  const auto coeffs = b.load(b.add(cur, c_coeffs), kEm3dNode, kFlagSpine);
+  const auto value = b.load(cur, kEm3dNode, kFlagSpine);
+  b.reg_write(0, next);
+  b.reg_write(1, value);  // accumulator
+
+  b.loop_begin(count);
+  {
+    const auto j = b.inner_index();
+    const auto joff = b.shl(j, 3);
+    // ptr = ptrs[j]; the address-generation load.
+    const auto ptr = b.load(b.add(ptrs, joff), kEm3dFromPtrs);
+    // coeff = coeffs[j]; value-only (the slicer drops it).
+    const auto coeff = b.load(b.add(coeffs, joff), kEm3dCoeffs);
+    // *ptr: the delinquent load.
+    const auto dep = b.load(ptr, kEm3dFromValue, kFlagDelinquent,
+                            static_cast<std::uint16_t>(
+                                config.compute_cycles_per_dep));
+    // acc -= coeff * dep (wrapping integer arithmetic stands in for the
+    // original doubles; the dataflow shape is what matters).
+    const auto acc = b.reg_read(1);
+    b.reg_write(1, b.sub(acc, b.mul(coeff, dep)));
+  }
+  b.loop_end();
+
+  b.store(cur, b.reg_read(1), kEm3dValueWrite);
+
+  out.program = b.take();
+  out.program.reg_init = {model.node_addr(0)};
+  return out;
+}
+
+}  // namespace spf

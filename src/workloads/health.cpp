@@ -1,0 +1,109 @@
+#include "spf/workloads/health.hpp"
+
+#include "spf/common/assert.hpp"
+#include "spf/common/rng.hpp"
+#include "spf/workloads/vheap.hpp"
+
+namespace spf {
+namespace {
+
+constexpr std::uint64_t kVillageBytes = 128;  // struct Village with 4 kids
+constexpr std::uint64_t kPatientBytes = 64;
+constexpr std::uint64_t kLineBytes = 64;
+
+}  // namespace
+
+HealthWorkload::HealthWorkload(const HealthConfig& config) : config_(config) {
+  SPF_ASSERT(config.depth >= 1 && config.depth <= 8, "depth out of range");
+  SPF_ASSERT(config.steps >= 1, "need at least one step");
+  SPF_ASSERT(config.referral_percent <= 100, "referral is a percentage");
+
+  const std::uint32_t n = config.villages();
+
+  // Build the 4-ary tree implicitly: village 0 is the root; children of v
+  // are 4v+1 .. 4v+4 (when < n). DFS preorder visit order.
+  parent_.resize(n);
+  parent_[0] = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t c = 4 * v + 1; c <= 4 * v + 4 && c < n; ++c) {
+      parent_[c] = v;
+    }
+  }
+  dfs_order_.reserve(n);
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    dfs_order_.push_back(v);
+    for (std::uint32_t c = 4 * v + 4;; --c) {
+      if (c >= 4 * v + 1 && c < n) stack.push_back(c);
+      if (c == 4 * v + 1) break;
+    }
+  }
+  SPF_ASSERT(dfs_order_.size() == n, "DFS must visit every village");
+
+  VirtualHeap heap;
+  villages_base_ =
+      heap.allocate(static_cast<std::uint64_t>(n) * kVillageBytes, kLineBytes);
+  // Patients are malloc'ed/freed continuously in the original program; model
+  // the churned heap as a large scattered pool patients are drawn from.
+  patient_slots_ = static_cast<std::uint64_t>(n) * config.mean_patients * 8;
+  patients_base_ = heap.allocate(patient_slots_ * kPatientBytes, kLineBytes);
+}
+
+Addr HealthWorkload::village_addr(std::uint32_t v) const {
+  SPF_DEBUG_ASSERT(v < config_.villages(), "village out of range");
+  return villages_base_ + static_cast<Addr>(v) * kVillageBytes;
+}
+
+TraceBuffer HealthWorkload::emit_trace() const {
+  const std::uint32_t n = config_.villages();
+  TraceBuffer trace;
+  trace.reserve(static_cast<std::size_t>(outer_iterations()) *
+                (config_.mean_patients + 2));
+  Xoshiro256 rng(config_.seed ^ 0x4ea17edULL);
+
+  for (std::uint32_t step = 0; step < config_.steps; ++step) {
+    for (std::uint32_t visit = 0; visit < n; ++visit) {
+      const std::uint32_t v = dfs_order_[visit];
+      const std::uint32_t iter = step * n + visit;
+
+      // Spine: the DFS reads the village struct (child pointers + list head).
+      trace.emit(village_addr(v), iter, AccessKind::kRead, kHealthVillage,
+                 kFlagSpine);
+
+      // Walk the village's patient list. List length hovers around the mean;
+      // node placement is scattered across the churned patient heap.
+      const std::uint32_t patients = config_.mean_patients / 2 +
+                                     static_cast<std::uint32_t>(
+                                         rng.below(config_.mean_patients + 1));
+      for (std::uint32_t p = 0; p < patients; ++p) {
+        const Addr patient =
+            patients_base_ + rng.below(patient_slots_) * kPatientBytes;
+        trace.emit(patient, iter, AccessKind::kRead, kHealthPatient,
+                   kFlagDelinquent, config_.compute_cycles_per_patient);
+        // Assessment updates the patient roughly half the time.
+        if (rng.below(2) == 0) {
+          trace.emit(patient, iter, AccessKind::kWrite, kHealthUpdate);
+        }
+        // Referral: splice the patient into the parent village's list.
+        if (rng.below(100) < config_.referral_percent) {
+          trace.emit(village_addr(parent_[v]), iter, AccessKind::kWrite,
+                     kHealthReferral);
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+std::vector<std::uint32_t> HealthWorkload::invocation_starts() const {
+  std::vector<std::uint32_t> starts;
+  starts.reserve(config_.steps);
+  for (std::uint32_t s = 0; s < config_.steps; ++s) {
+    starts.push_back(s * config_.villages());
+  }
+  return starts;
+}
+
+}  // namespace spf

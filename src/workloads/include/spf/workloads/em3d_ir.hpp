@@ -1,0 +1,37 @@
+// EM3D encoded in the mini loop IR (spf/ir) with its data structures laid
+// out in IR virtual memory — real next pointers, real dependency-pointer
+// rows. This is the input to slicing-based helper construction, and a
+// differential cross-check for the hand-instrumented Em3dWorkload emitter:
+// two independent encodings of the same hot loop must show the same cache
+// behaviour.
+//
+// Word-accurate encoding of the Fig. 1(a) hotspot (one record per executed
+// load/store, where the trace emitter collapses same-line array touches):
+//
+//   for (node = head; ; node = node->next) {           // circular: passes
+//     acc   = node->value;
+//     ptrs  = node->from_values; coeffs = node->coeffs; n = node->from_count;
+//     for (j = 0; j < n; ++j)
+//       acc -= coeffs[j] * *ptrs[j];                   // delinquent load
+//     node->value = acc;
+//   }
+#pragma once
+
+#include "spf/ir/interp.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/vm.hpp"
+#include "spf/workloads/em3d.hpp"
+
+namespace spf {
+
+struct Em3dIr {
+  ir::Program program;
+  ir::VirtualMemory memory;
+};
+
+/// Encodes `model`'s exact topology and placement. The node list is made
+/// circular so `model.config().passes` passes are one outer loop of
+/// nodes*passes iterations (matching the workload's iteration numbering).
+[[nodiscard]] Em3dIr build_em3d_ir(const Em3dWorkload& model);
+
+}  // namespace spf

@@ -1,0 +1,52 @@
+// Natively executable EM3D: real linked data structures and kernels, used by
+// the real-thread SP runtime (spf_runtime) and the examples. Topology is
+// taken from an Em3dWorkload so the native graph and the trace-level model
+// describe the same computation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spf/workloads/em3d.hpp"
+
+namespace spf {
+
+struct Em3dNode {
+  double value = 1.0;
+  Em3dNode* next = nullptr;
+  std::uint32_t from_count = 0;
+  double** from_values = nullptr;
+  double* coeffs = nullptr;
+};
+
+class Em3dGraph {
+ public:
+  /// Builds real nodes mirroring `model`'s topology and placement.
+  explicit Em3dGraph(const Em3dWorkload& model);
+
+  [[nodiscard]] Em3dNode* head() noexcept { return head_; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// One compute_nodes() pass of the main loop; returns the value checksum.
+  double compute_pass();
+
+  /// The SP helper slice for one pass: per round, chase the spine through
+  /// `a_ski` nodes, then touch the dependency data of the next `a_pre` nodes
+  /// (prefetching their cache lines). Returns the number of prefetches
+  /// issued (for tests).
+  std::uint64_t helper_pass(std::uint32_t a_ski, std::uint32_t a_pre) const;
+
+  /// Sum of node values (verification).
+  [[nodiscard]] double checksum() const;
+
+ private:
+  std::vector<Em3dNode> nodes_;       // placement order
+  std::vector<double*> from_ptrs_;    // nodes * arity
+  std::vector<double> coeffs_;        // nodes * arity
+  Em3dNode* head_ = nullptr;
+};
+
+}  // namespace spf

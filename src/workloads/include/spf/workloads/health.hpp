@@ -1,0 +1,77 @@
+// HEALTH (Olden suite) — Colombian health-care simulation: a 4-ary tree of
+// villages, each with linked lists of patients that are assessed every time
+// step and sometimes referred up the hierarchy.
+//
+// The hot function (sim()/check_patients_*) walks each village's patient
+// list — a malloc-scattered linked list whose nodes are the delinquent
+// loads — making HEALTH the canonical "helper threading for LDS" benchmark
+// beyond the three the paper evaluates. We include it as a fourth workload
+// to exercise the library on a list-of-lists shape none of the others have.
+//
+// Outer hot-loop iteration = one village visit (villages are visited in a
+// fixed DFS order each simulated time step).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/workloads/workload.hpp"
+
+namespace spf {
+
+struct HealthConfig {
+  /// Tree depth (4-ary): villages = (4^depth - 1) / 3.
+  std::uint32_t depth = 5;
+  /// Mean patients per village list at steady state.
+  std::uint32_t mean_patients = 12;
+  /// Simulated time steps (hot function invocations).
+  std::uint32_t steps = 8;
+  /// Probability (percent) a patient is referred to the parent village.
+  std::uint32_t referral_percent = 10;
+  std::uint32_t compute_cycles_per_patient = 1;
+  std::uint64_t seed = 46;
+
+  [[nodiscard]] std::uint32_t villages() const noexcept {
+    std::uint32_t n = 0;
+    std::uint32_t level = 1;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      n += level;
+      level *= 4;
+    }
+    return n;
+  }
+};
+
+enum HealthSite : std::uint8_t {
+  kHealthVillage = 0,  // village struct (spine: DFS traversal)
+  kHealthPatient = 1,  // patient node (delinquent: scattered list)
+  kHealthUpdate = 2,   // patient status write
+  kHealthReferral = 3, // parent village's list head update (write)
+};
+
+class HealthWorkload final : public Workload {
+ public:
+  explicit HealthWorkload(const HealthConfig& config);
+
+  [[nodiscard]] std::string name() const override { return "health"; }
+  [[nodiscard]] TraceBuffer emit_trace() const override;
+  [[nodiscard]] std::uint32_t outer_iterations() const override {
+    return config_.villages() * config_.steps;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> invocation_starts() const override;
+
+  [[nodiscard]] const HealthConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Addr village_addr(std::uint32_t v) const;
+
+ private:
+  HealthConfig config_;
+  Addr villages_base_ = 0;
+  Addr patients_base_ = 0;
+  std::uint64_t patient_slots_ = 0;
+  /// DFS visit order of village ids.
+  std::vector<std::uint32_t> dfs_order_;
+  /// Parent village per village (root's parent is itself).
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace spf

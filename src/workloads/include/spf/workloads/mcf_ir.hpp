@@ -1,0 +1,31 @@
+// MCF's pricing loop encoded in the mini IR. Unlike EM3D there is no
+// pointer-chased spine: the arc address is recomputed from the induction
+// variable, so the helper slice has an *empty* spine mask — skipped
+// iterations cost the helper nothing, which is why array scans tolerate
+// huge prefetch distances cheaply.
+//
+//   for (a = 0; a < arcs; ++a) {            // outer (per pass, circularized)
+//     arc   = arcs_base + a*64;
+//     tail  = arc->tail;  head = arc->head; // loads of the arc line
+//     rc    = arc->cost - tail->potential + head->potential;
+//     if (...) candidate write              // modeled as periodic store
+//   }
+#pragma once
+
+#include "spf/ir/interp.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/vm.hpp"
+#include "spf/workloads/mcf.hpp"
+
+namespace spf {
+
+struct McfIr {
+  ir::Program program;
+  ir::VirtualMemory memory;
+};
+
+/// Encodes `model`'s exact arc->node topology. Passes are expressed by an
+/// outer trip of arcs*passes with the arc index taken modulo arcs.
+[[nodiscard]] McfIr build_mcf_ir(const McfWorkload& model);
+
+}  // namespace spf

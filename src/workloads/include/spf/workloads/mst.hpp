@@ -1,0 +1,118 @@
+// MST (Olden suite) — Bentley's minimum-spanning-tree with per-vertex hash
+// tables of edge weights. The hot function is the BlueRule scan: after a
+// vertex joins the tree, every remaining vertex walks its own hash table to
+// look up the distance to the newcomer:
+//
+//   for (tmp = vlist; tmp; tmp = tmp->next) {        // outer hot loop
+//     dist = HashLookup(new_vertex, tmp->edgehash);  // bucket + chain walk
+//     if (dist < tmp->mindist) tmp->mindist = dist;
+//   }
+//
+// Access shape per iteration: vertex struct (spine pointer chase), one
+// bucket-array read (irregular: the bucket index depends on the newcomer),
+// and a short chain walk (irregular) — a few delinquent lines per iteration
+// over a large hash-table footprint, which is why MST's Set Affinity is two
+// orders of magnitude larger than EM3D's (paper Table II: [6300, 10000]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/workloads/workload.hpp"
+
+namespace spf {
+
+struct MstConfig {
+  std::uint32_t vertices = 1200;
+  /// Edges stored per vertex hash table.
+  std::uint32_t degree = 64;
+  /// Hash buckets per vertex (power of two).
+  std::uint32_t buckets = 128;
+  /// Cap on tree-growth steps (0 = run Prim to completion). The full
+  /// algorithm performs vertices-1 steps and Theta(V^2) scan iterations.
+  std::uint32_t max_steps = 0;
+  std::uint32_t compute_cycles_per_lookup = 1;
+  std::uint64_t seed = 44;
+
+  /// Paper Table II input is 10^4 vertices; a full run is Theta(V^2) = 5e7
+  /// scan iterations, so the paper-scale preset caps the step count while
+  /// keeping each scan at the paper's length scale.
+  static MstConfig paper_scale() {
+    MstConfig c;
+    c.vertices = 10000;
+    c.degree = 64;
+    c.buckets = 128;
+    c.max_steps = 400;
+    return c;
+  }
+};
+
+enum MstSite : std::uint8_t {
+  kMstVertex = 0,       // vertex struct via ->next (spine)
+  kMstBucket = 1,       // hash bucket slot (delinquent)
+  kMstHashEntry = 2,    // chain entry (delinquent)
+  kMstMindistWrite = 3, // tmp->mindist update
+};
+
+class MstWorkload final : public Workload {
+ public:
+  explicit MstWorkload(const MstConfig& config);
+
+  [[nodiscard]] std::string name() const override { return "mst"; }
+  [[nodiscard]] TraceBuffer emit_trace() const override;
+  [[nodiscard]] std::uint32_t outer_iterations() const override {
+    return total_iterations_;
+  }
+  /// Each BlueRule scan is one hot-function invocation.
+  [[nodiscard]] std::vector<std::uint32_t> invocation_starts() const override {
+    return scan_starts_;
+  }
+
+  [[nodiscard]] const MstConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Addr vertex_addr(std::uint32_t v) const;
+  /// Base address of v's hash-table bucket array (jittered per vertex).
+  [[nodiscard]] Addr hash_table_addr(std::uint32_t v) const;
+  /// Bucket a key hashes to.
+  [[nodiscard]] std::uint32_t bucket_of_key(std::uint32_t key) const {
+    return bucket_of(key);
+  }
+  /// Addresses of the entries chained in bucket b of vertex u, in walk order.
+  [[nodiscard]] std::vector<Addr> chain_entry_addrs(std::uint32_t u,
+                                                    std::uint32_t b) const;
+  /// The vertex whose insertion triggers the first BlueRule scan.
+  [[nodiscard]] std::uint32_t first_scan_new_vertex() const {
+    return insert_order_.front();
+  }
+  /// Vertices the first scan visits, in list order.
+  [[nodiscard]] std::vector<std::uint32_t> first_scan_order() const {
+    return {insert_order_.begin() + 1, insert_order_.end()};
+  }
+
+ private:
+  /// Entry ids chained in bucket b of vertex u.
+  [[nodiscard]] const std::vector<std::uint32_t>& chain(std::uint32_t u,
+                                                        std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t bucket_of(std::uint32_t key) const;
+
+  MstConfig config_;
+  Addr verts_base_ = 0;
+  Addr buckets_base_ = 0;
+  Addr entries_base_ = 0;
+  /// Memory placement slot per vertex.
+  std::vector<std::uint32_t> placement_;
+  /// Base address of each vertex's bucket array. The original program
+  /// mallocs each table separately, so bases carry allocator jitter instead
+  /// of sitting at a perfect power-of-two stride (which would alias a few
+  /// cache sets pathologically and crush the measured Set Affinity).
+  std::vector<Addr> hash_base_;
+  /// chains_[u * buckets + b] -> entry ids (global) in walk order.
+  std::vector<std::vector<std::uint32_t>> chains_;
+  /// Neighbor key per entry id (chain walk compares against it).
+  std::vector<std::uint32_t> entry_key_;
+  /// Vertex insertion order (Prim growth order).
+  std::vector<std::uint32_t> insert_order_;
+  std::uint32_t total_iterations_ = 0;
+  std::vector<std::uint32_t> scan_starts_;
+};
+
+}  // namespace spf

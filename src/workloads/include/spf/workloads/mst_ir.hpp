@@ -1,0 +1,33 @@
+// MST's BlueRule scan encoded in the mini IR — the hardest of the three
+// shapes: a pointer-chased vertex list (spine) plus a per-vertex hash lookup
+// whose chain walk has a *data-dependent* trip count (read from the bucket
+// header). The IR has no conditionals, so the walk visits the whole chain
+// (no early exit at the matching key); the paper's helper does the same —
+// it cannot know the matching entry without executing the comparison.
+//
+// Memory layout (built to mirror MstWorkload's addresses):
+//   vertex struct: next-vertex addr at +8 (the remaining-list spine);
+//   bucket slot (8B) holds the address of a chain-descriptor pair
+//     [count, first-entry addr, entries' addrs...] materialized per
+//     (vertex, bucket) in a side region;
+// For tractability the encoding covers the workload's *first* BlueRule scan
+// (the hot function's shape, not all V-1 invocations).
+#pragma once
+
+#include "spf/ir/interp.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/vm.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace spf {
+
+struct MstIr {
+  ir::Program program;
+  ir::VirtualMemory memory;
+};
+
+/// Encodes the first scan (inserting vertex = insert order[0]) over the
+/// remaining vertices in list order.
+[[nodiscard]] MstIr build_mst_ir(const MstWorkload& model);
+
+}  // namespace spf

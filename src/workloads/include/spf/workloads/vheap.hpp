@@ -1,0 +1,36 @@
+// Virtual heap: assigns synthetic addresses to workload data structures so
+// traces are bit-identical across runs and machines (real heap addresses
+// would vary with ASLR and allocator state, perturbing set mapping).
+//
+// The bump allocator mimics the allocation order of the original programs:
+// structures allocated in sequence are adjacent, which is what gives the
+// Olden kernels their characteristic mix of sequential (arrays) and
+// irregular (pointer-target) locality.
+#pragma once
+
+#include <cstdint>
+
+#include "spf/mem/types.hpp"
+
+namespace spf {
+
+class VirtualHeap {
+ public:
+  /// Base defaults far from zero so address arithmetic bugs surface as
+  /// obviously-wrong values rather than plausible small addresses.
+  explicit VirtualHeap(Addr base = 0x10000000) : base_(base), cursor_(base) {}
+
+  /// Returns the start of a fresh `bytes`-sized region aligned to `align`
+  /// (power of two).
+  Addr allocate(std::uint64_t bytes, std::uint64_t align = 8);
+
+  /// Total bytes handed out (including alignment padding).
+  [[nodiscard]] std::uint64_t used() const noexcept { return cursor_ - base_; }
+  [[nodiscard]] Addr top() const noexcept { return cursor_; }
+
+ private:
+  Addr base_;
+  Addr cursor_;
+};
+
+}  // namespace spf

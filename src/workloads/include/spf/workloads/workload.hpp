@@ -1,0 +1,37 @@
+// Common workload interface.
+//
+// A workload models one of the paper's benchmarks: it builds the program's
+// data structures (deterministically, in a virtual address space), and emits
+// the hot function's memory access trace annotated with outer-loop iteration
+// ids, load sites, spine/delinquent flags, and compute gaps.
+//
+// Set Affinity is measured per hot-function *invocation* (paper §IV.C), so
+// workloads also report where invocations begin in the cumulative iteration
+// numbering; spf::analyze_workload_sa (spf/profile/invocations.hpp) consumes
+// that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spf/profile/invocations.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Emit the main thread's hot-loop trace.
+  [[nodiscard]] virtual TraceBuffer emit_trace() const = 0;
+  /// Total outer-loop iterations the trace covers.
+  [[nodiscard]] virtual std::uint32_t outer_iterations() const = 0;
+  /// Cumulative outer-iteration index at which each hot-function invocation
+  /// begins (first element is always 0).
+  [[nodiscard]] virtual std::vector<std::uint32_t> invocation_starts() const = 0;
+};
+
+}  // namespace spf

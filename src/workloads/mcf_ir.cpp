@@ -1,0 +1,55 @@
+#include "spf/workloads/mcf_ir.hpp"
+
+namespace spf {
+namespace {
+
+// Arc struct field offsets (64-byte arc).
+constexpr std::uint64_t kCostOff = 0;
+constexpr std::uint64_t kTailOff = 8;
+constexpr std::uint64_t kHeadOff = 16;
+// Node struct: potential at offset 0.
+
+}  // namespace
+
+McfIr build_mcf_ir(const McfWorkload& model) {
+  const McfConfig& config = model.config();
+  McfIr out;
+
+  // Arcs store the *addresses* of their endpoint nodes, as the original
+  // stores pointers.
+  for (std::uint32_t a = 0; a < config.arcs; ++a) {
+    const Addr arc = model.arc_addr(a);
+    out.memory.write(arc + kCostOff, 100 + a % 97);
+    out.memory.write(arc + kTailOff, model.node_addr(model.tail_of(a)));
+    out.memory.write(arc + kHeadOff, model.node_addr(model.head_of(a)));
+  }
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    out.memory.write(model.node_addr(n), 5000 + n);
+  }
+
+  const std::uint32_t total = config.arcs * config.passes;
+  ir::ProgramBuilder b(total);
+  const auto iter = b.iter_index();
+  const auto arcs_count = b.constant(config.arcs);
+  const auto a = b.mod(iter, arcs_count);  // arc index within the pass
+  const auto arc_base = b.constant(model.arc_addr(0));
+  const auto arc = b.add(arc_base, b.shl(a, 6));
+
+  const auto cost = b.load(arc, kMcfArc, 0,
+                           static_cast<std::uint16_t>(
+                               config.compute_cycles_per_arc));
+  const auto tail_ptr =
+      b.load(b.add(arc, b.constant(kTailOff)), kMcfArc);
+  const auto head_ptr =
+      b.load(b.add(arc, b.constant(kHeadOff)), kMcfArc);
+  const auto tail_pot = b.load(tail_ptr, kMcfTailPotential, kFlagDelinquent);
+  const auto head_pot = b.load(head_ptr, kMcfHeadPotential, kFlagDelinquent);
+  // red_cost = cost - tail->potential + head->potential: value-only.
+  const auto red_cost = b.add(b.sub(cost, tail_pot), head_pot);
+  b.reg_write(1, red_cost);  // best-candidate accumulator (value-only)
+
+  out.program = b.take();
+  return out;
+}
+
+}  // namespace spf

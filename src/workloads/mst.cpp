@@ -1,0 +1,176 @@
+#include "spf/workloads/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "spf/common/assert.hpp"
+#include "spf/common/rng.hpp"
+#include "spf/workloads/vheap.hpp"
+
+namespace spf {
+namespace {
+
+constexpr std::uint64_t kVertexBytes = 64;
+constexpr std::uint64_t kBucketBytes = 8;   // one pointer slot
+constexpr std::uint64_t kEntryBytes = 32;   // key, weight, next
+constexpr std::uint64_t kLineBytes = 64;
+
+}  // namespace
+
+MstWorkload::MstWorkload(const MstConfig& config) : config_(config) {
+  SPF_ASSERT(config.vertices >= 2, "mst needs at least two vertices");
+  SPF_ASSERT(config.degree > 0, "degree must be positive");
+  SPF_ASSERT((config.buckets & (config.buckets - 1)) == 0,
+             "buckets must be a power of two");
+
+  Xoshiro256 rng(config.seed);
+  const std::uint32_t n = config.vertices;
+
+  placement_.resize(n);
+  std::iota(placement_.begin(), placement_.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::swap(placement_[i], placement_[static_cast<std::uint32_t>(rng.below(i + 1))]);
+  }
+
+
+  // Build each vertex's hash table: `degree` neighbor keys chained into the
+  // bucket their key hashes to. Entry ids are global and allocated in build
+  // order (vertex-major), matching Olden's allocation pattern.
+  chains_.assign(static_cast<std::size_t>(n) * config.buckets, {});
+  entry_key_.reserve(static_cast<std::size_t>(n) * config.degree);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t e = 0; e < config.degree; ++e) {
+      auto w = static_cast<std::uint32_t>(rng.below(n));
+      if (w == u) w = (w + 1) % n;
+      const auto id = static_cast<std::uint32_t>(entry_key_.size());
+      entry_key_.push_back(w);
+      chains_[static_cast<std::size_t>(u) * config.buckets + bucket_of(w)]
+          .push_back(id);
+    }
+  }
+
+  // Prim growth order: a deterministic pseudo-random permutation stands in
+  // for the weight-determined order (weights do not change the access shape
+  // of the scan, only which vertex wins it).
+  insert_order_.resize(n);
+  std::iota(insert_order_.begin(), insert_order_.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::swap(insert_order_[i],
+              insert_order_[static_cast<std::uint32_t>(rng.below(i + 1))]);
+  }
+
+  VirtualHeap heap;
+  verts_base_ = heap.allocate(static_cast<std::uint64_t>(n) * kVertexBytes,
+                              kLineBytes);
+  // One allocation per hash table, with allocator-style jitter between them,
+  // the way per-vertex mallocs land in a real heap.
+  hash_base_.reserve(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    hash_base_.push_back(heap.allocate(
+        static_cast<std::uint64_t>(config.buckets) * kBucketBytes +
+            rng.below(7) * kLineBytes,
+        kLineBytes));
+  }
+  buckets_base_ = hash_base_.front();
+  entries_base_ = heap.allocate(
+      static_cast<std::uint64_t>(entry_key_.size()) * kEntryBytes, kLineBytes);
+
+  // Pre-compute the iteration budget so outer_iterations() is cheap.
+  const std::uint32_t steps =
+      config.max_steps == 0 ? n - 1 : std::min(config.max_steps, n - 1);
+  std::uint64_t total = 0;
+  scan_starts_.reserve(steps);
+  for (std::uint32_t k = 1; k <= steps; ++k) {
+    scan_starts_.push_back(static_cast<std::uint32_t>(total));
+    total += n - k;  // remaining vertices scanned this step
+  }
+  SPF_ASSERT(total < (1ull << 32), "iteration count overflows outer_iter");
+  total_iterations_ = static_cast<std::uint32_t>(total);
+}
+
+std::uint32_t MstWorkload::bucket_of(std::uint32_t key) const {
+  return static_cast<std::uint32_t>(SplitMix64(key).next() &
+                                    (config_.buckets - 1));
+}
+
+Addr MstWorkload::vertex_addr(std::uint32_t v) const {
+  SPF_DEBUG_ASSERT(v < config_.vertices, "vertex index out of range");
+  return verts_base_ + static_cast<Addr>(placement_[v]) * kVertexBytes;
+}
+
+const std::vector<std::uint32_t>& MstWorkload::chain(std::uint32_t u,
+                                                     std::uint32_t b) const {
+  return chains_[static_cast<std::size_t>(u) * config_.buckets + b];
+}
+
+Addr MstWorkload::hash_table_addr(std::uint32_t v) const {
+  SPF_DEBUG_ASSERT(v < config_.vertices, "vertex index out of range");
+  return hash_base_[v];
+}
+
+std::vector<Addr> MstWorkload::chain_entry_addrs(std::uint32_t u,
+                                                 std::uint32_t b) const {
+  std::vector<Addr> addrs;
+  for (std::uint32_t id : chain(u, b)) {
+    addrs.push_back(entries_base_ + static_cast<Addr>(id) * kEntryBytes);
+  }
+  return addrs;
+}
+
+TraceBuffer MstWorkload::emit_trace() const {
+  TraceBuffer trace;
+  const std::uint32_t n = config_.vertices;
+  trace.reserve(static_cast<std::size_t>(total_iterations_) * 3);
+
+  std::vector<std::uint32_t> remaining(insert_order_.begin() + 1,
+                                       insert_order_.end());
+  std::uint32_t iter = 0;
+  const std::uint32_t steps = static_cast<std::uint32_t>(scan_starts_.size());
+
+  for (std::uint32_t k = 0; k < steps; ++k) {
+    const std::uint32_t v_new = insert_order_[k];
+    const std::uint32_t b = bucket_of(v_new);
+
+    for (std::uint32_t u : remaining) {
+      // Spine: the remaining-vertex list walk reads the vertex struct
+      // (->next and ->mindist live there).
+      trace.emit(vertex_addr(u), iter, AccessKind::kRead, kMstVertex,
+                 kFlagSpine);
+      // Bucket slot of v_new in u's hash table.
+      const Addr bucket_addr =
+          hash_base_[u] + static_cast<Addr>(b) * kBucketBytes;
+      trace.emit(bucket_addr, iter, AccessKind::kRead, kMstBucket,
+                 kFlagDelinquent, config_.compute_cycles_per_lookup);
+      // Chain walk until the key matches or the chain ends.
+      bool found = false;
+      for (std::uint32_t id : chain(u, b)) {
+        trace.emit(entries_base_ + static_cast<Addr>(id) * kEntryBytes, iter,
+                   AccessKind::kRead, kMstHashEntry, kFlagDelinquent);
+        if (entry_key_[id] == v_new) {
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        // dist < mindist roughly half the time; deterministic surrogate.
+        if ((SplitMix64((static_cast<std::uint64_t>(u) << 32) | v_new).next() &
+             1) != 0) {
+          trace.emit(vertex_addr(u), iter, AccessKind::kWrite,
+                     kMstMindistWrite);
+        }
+      }
+      ++iter;
+    }
+    // Remove the vertex that joins the tree next (insert_order_[k + 1]).
+    if (k + 1 < n) {
+      const std::uint32_t joining = insert_order_[k + 1];
+      auto it = std::find(remaining.begin(), remaining.end(), joining);
+      SPF_ASSERT(it != remaining.end(), "joining vertex missing from remaining");
+      remaining.erase(it);
+    }
+  }
+  SPF_ASSERT(iter == total_iterations_, "iteration accounting mismatch");
+  return trace;
+}
+
+}  // namespace spf

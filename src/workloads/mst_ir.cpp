@@ -1,0 +1,93 @@
+#include "spf/workloads/mst_ir.hpp"
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+namespace {
+
+// Vertex struct fields.
+constexpr std::uint64_t kMindistOff = 0;
+constexpr std::uint64_t kNextOff = 8;
+constexpr std::uint64_t kHashOff = 16;
+// Entry struct: key at +0, next at +8.
+constexpr std::uint64_t kEntryNextOff = 8;
+// Chain length packed into the bucket slot's low bits (entries are 32-byte
+// aligned, leaving 5 bits; chains beyond 31 entries are unrealistic for the
+// configured load factors and asserted against).
+constexpr std::uint64_t kLenMask = 31;
+
+}  // namespace
+
+MstIr build_mst_ir(const MstWorkload& model) {
+  const MstConfig& config = model.config();
+  MstIr out;
+
+  const std::uint32_t v_new = model.first_scan_new_vertex();
+  const std::uint32_t bucket = model.bucket_of_key(v_new);
+  const std::vector<std::uint32_t> order = model.first_scan_order();
+  SPF_ASSERT(!order.empty(), "scan needs at least one remaining vertex");
+
+  // ---- data -----------------------------------------------------------
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::uint32_t u = order[k];
+    const Addr v = model.vertex_addr(u);
+    out.memory.write(v + kMindistOff, 1 << 20);
+    out.memory.write(
+        v + kNextOff,
+        k + 1 < order.size() ? model.vertex_addr(order[k + 1]) : 0);
+    out.memory.write(v + kHashOff, model.hash_table_addr(u));
+
+    // Bucket slot for the scanned key: first-entry address with the chain
+    // length packed into the low bits; entries chained through +8.
+    const std::vector<Addr> chain = model.chain_entry_addrs(u, bucket);
+    SPF_ASSERT(chain.size() <= kLenMask, "chain too long for packed length");
+    const Addr slot_addr =
+        model.hash_table_addr(u) + static_cast<Addr>(bucket) * 8;
+    if (chain.empty()) {
+      out.memory.write(slot_addr, 0);
+    } else {
+      SPF_ASSERT((chain.front() & kLenMask) == 0, "entry alignment too small");
+      out.memory.write(slot_addr, chain.front() | chain.size());
+      for (std::size_t e = 0; e < chain.size(); ++e) {
+        out.memory.write(chain[e] + kEntryNextOff,
+                         e + 1 < chain.size() ? chain[e + 1] : 0);
+        out.memory.write(chain[e], 7 + e);  // key payload
+      }
+    }
+  }
+
+  // ---- code: one scan over the remaining list --------------------------
+  ir::ProgramBuilder b(static_cast<std::uint32_t>(order.size()));
+  const auto v = b.reg_read(0);
+  const auto next =
+      b.load(b.add(v, b.constant(kNextOff)), kMstVertex, kFlagSpine);
+  const auto hash =
+      b.load(b.add(v, b.constant(kHashOff)), kMstVertex, kFlagSpine);
+  const auto slot_addr = b.add(hash, b.constant(static_cast<Addr>(bucket) * 8));
+  const auto slot = b.load(slot_addr, kMstBucket, kFlagDelinquent,
+                           static_cast<std::uint16_t>(
+                               config.compute_cycles_per_lookup));
+  const auto len = b.band(slot, b.constant(kLenMask));
+  const auto first = b.sub(slot, len);
+  b.reg_write(2, first);
+
+  b.loop_begin(len);
+  {
+    const auto e = b.reg_read(2);
+    const auto nxt = b.load(b.add(e, b.constant(kEntryNextOff)), kMstHashEntry,
+                            kFlagDelinquent);
+    b.reg_write(2, nxt);
+  }
+  b.loop_end();
+
+  // mindist update (the original writes on improving matches; the IR has no
+  // branches, so it updates unconditionally — a superset of the writes).
+  b.store(v, len, kMstMindistWrite);
+  b.reg_write(0, next);
+
+  out.program = b.take();
+  out.program.reg_init = {model.vertex_addr(order.front())};
+  return out;
+}
+
+}  // namespace spf

@@ -1,0 +1,74 @@
+#include "spf/workloads/synthetic.hpp"
+
+#include <numeric>
+
+#include "spf/common/assert.hpp"
+#include "spf/common/rng.hpp"
+#include "spf/workloads/vheap.hpp"
+
+namespace spf {
+namespace {
+
+constexpr std::uint64_t kLineBytes = 64;
+constexpr std::uint64_t kNodeBytes = 64;
+
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticConfig& config)
+    : config_(config) {
+  SPF_ASSERT(config.iterations > 0, "need at least one iteration");
+  SPF_ASSERT(config.random_footprint_lines > 0, "empty random footprint");
+
+  Xoshiro256 rng(config.seed);
+  spine_placement_.resize(config.iterations);
+  std::iota(spine_placement_.begin(), spine_placement_.end(), 0u);
+  for (std::uint32_t i = config.iterations - 1; i > 0; --i) {
+    std::swap(spine_placement_[i],
+              spine_placement_[static_cast<std::uint32_t>(rng.below(i + 1))]);
+  }
+
+  VirtualHeap heap;
+  spine_base_ = heap.allocate(
+      static_cast<std::uint64_t>(config.iterations) * kNodeBytes, kLineBytes);
+  seq_base_ = heap.allocate(static_cast<std::uint64_t>(config.iterations) *
+                                config.sequential_lines * kLineBytes + kLineBytes,
+                            kLineBytes);
+  stride_base_ = heap.allocate(
+      static_cast<std::uint64_t>(config.iterations) * config.strided_reads *
+              config.stride_bytes + kLineBytes,
+      kLineBytes);
+  random_base_ =
+      heap.allocate(config.random_footprint_lines * kLineBytes, kLineBytes);
+}
+
+TraceBuffer SyntheticWorkload::emit_trace() const {
+  TraceBuffer trace;
+  trace.reserve(static_cast<std::size_t>(config_.iterations) *
+                (1 + config_.sequential_lines + config_.strided_reads +
+                 config_.random_reads));
+  Xoshiro256 rng(config_.seed ^ 0xfeedf00dULL);
+
+  for (std::uint32_t i = 0; i < config_.iterations; ++i) {
+    trace.emit(spine_base_ + static_cast<Addr>(spine_placement_[i]) * kNodeBytes,
+               i, AccessKind::kRead, kSynSpine, kFlagSpine);
+    for (std::uint32_t s = 0; s < config_.sequential_lines; ++s) {
+      trace.emit(seq_base_ + (static_cast<Addr>(i) * config_.sequential_lines + s) *
+                                 kLineBytes,
+                 i, AccessKind::kRead, kSynSequential);
+    }
+    for (std::uint32_t s = 0; s < config_.strided_reads; ++s) {
+      trace.emit(stride_base_ + (static_cast<Addr>(i) * config_.strided_reads + s) *
+                                    config_.stride_bytes,
+                 i, AccessKind::kRead, kSynStrided);
+    }
+    for (std::uint32_t s = 0; s < config_.random_reads; ++s) {
+      trace.emit(random_base_ + rng.below(config_.random_footprint_lines) *
+                                    kLineBytes,
+                 i, AccessKind::kRead, kSynRandom, kFlagDelinquent,
+                 config_.compute_cycles);
+    }
+  }
+  return trace;
+}
+
+}  // namespace spf

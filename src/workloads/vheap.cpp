@@ -1,0 +1,18 @@
+#include "spf/workloads/vheap.hpp"
+
+#include <bit>
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+Addr VirtualHeap::allocate(std::uint64_t bytes, std::uint64_t align) {
+  SPF_ASSERT(std::has_single_bit(align), "alignment must be a power of two");
+  SPF_ASSERT(bytes > 0, "zero-byte allocation");
+  cursor_ = (cursor_ + align - 1) & ~(align - 1);
+  const Addr start = cursor_;
+  cursor_ += bytes;
+  return start;
+}
+
+}  // namespace spf

@@ -1,0 +1,129 @@
+// Unit tests for the feedback-directed distance controller and the emulated
+// adaptive experiment.
+#include <gtest/gtest.h>
+
+#include "spf/core/adaptive.hpp"
+#include "spf/workloads/synthetic.hpp"
+
+namespace spf {
+namespace {
+
+AdaptiveConfig cfg() {
+  AdaptiveConfig c;
+  c.min_distance = 1;
+  c.max_distance = 64;
+  c.initial_distance = 8;
+  c.increase_step = 4;
+  return c;
+}
+
+IntervalFeedback interval(std::uint64_t lookups, std::uint64_t partial,
+                          std::uint64_t miss, std::uint64_t pollution) {
+  return IntervalFeedback{.l2_lookups = lookups,
+                          .partially_hits = partial,
+                          .totally_misses = miss,
+                          .pollution_events = pollution};
+}
+
+TEST(FeedbackControllerTest, HighPollutionHalvesDistance) {
+  FeedbackDistanceController c(cfg());
+  // 100 pollution events per 1000 lookups: way above the 40/1000 threshold.
+  EXPECT_EQ(c.observe(interval(10000, 0, 2000, 1000)),
+            AdaptiveAction::kDecrease);
+  EXPECT_EQ(c.distance(), 4u);
+  EXPECT_EQ(c.observe(interval(10000, 0, 2000, 1000)),
+            AdaptiveAction::kDecrease);
+  EXPECT_EQ(c.distance(), 2u);
+}
+
+TEST(FeedbackControllerTest, NeverBelowMinimum) {
+  FeedbackDistanceController c(cfg());
+  for (int i = 0; i < 20; ++i) c.observe(interval(1000, 0, 100, 900));
+  EXPECT_EQ(c.distance(), 1u);
+  EXPECT_EQ(c.observe(interval(1000, 0, 100, 900)), AdaptiveAction::kHold);
+}
+
+TEST(FeedbackControllerTest, LateFillsIncreaseDistance) {
+  FeedbackDistanceController c(cfg());
+  // Low pollution, 50% of memory accesses are partial hits (fills late).
+  EXPECT_EQ(c.observe(interval(10000, 500, 500, 10)),
+            AdaptiveAction::kIncrease);
+  EXPECT_EQ(c.distance(), 12u);
+}
+
+TEST(FeedbackControllerTest, NeverAboveMaximum) {
+  FeedbackDistanceController c(cfg());
+  for (int i = 0; i < 50; ++i) c.observe(interval(10000, 500, 500, 0));
+  EXPECT_EQ(c.distance(), 64u);
+  EXPECT_EQ(c.observe(interval(10000, 500, 500, 0)), AdaptiveAction::kHold);
+}
+
+TEST(FeedbackControllerTest, QuietIntervalHolds) {
+  FeedbackDistanceController c(cfg());
+  // Low pollution AND timely fills: stay put.
+  EXPECT_EQ(c.observe(interval(10000, 10, 990, 5)), AdaptiveAction::kHold);
+  EXPECT_EQ(c.distance(), 8u);
+  // Empty interval also holds.
+  EXPECT_EQ(c.observe(interval(0, 0, 0, 0)), AdaptiveAction::kHold);
+}
+
+TEST(FeedbackControllerTest, CountersAndToString) {
+  FeedbackDistanceController c(cfg());
+  c.observe(interval(10000, 500, 500, 10));  // increase
+  c.observe(interval(10000, 0, 2000, 1000)); // decrease
+  EXPECT_EQ(c.increases(), 1u);
+  EXPECT_EQ(c.decreases(), 1u);
+  EXPECT_NE(c.to_string().find("distance="), std::string::npos);
+}
+
+TEST(FeedbackControllerDeathTest, RejectsEmptyRange) {
+  AdaptiveConfig bad = cfg();
+  bad.min_distance = 10;
+  bad.max_distance = 5;
+  EXPECT_DEATH(FeedbackDistanceController{bad}, "range");
+}
+
+TEST(AdaptiveRunTest, ConvergesAwayFromPollutingStart) {
+  // Start the controller far beyond the pollution bound of a synthetic
+  // pointer-chase; it must walk the distance down.
+  SyntheticConfig wcfg;
+  wcfg.iterations = 24000;
+  wcfg.random_reads = 16;
+  wcfg.random_footprint_lines = 1 << 15;
+  const SyntheticWorkload w(wcfg);
+  const TraceBuffer trace = w.emit_trace();
+
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+
+  AdaptiveConfig acfg;
+  acfg.min_distance = 2;
+  acfg.max_distance = 2048;
+  acfg.initial_distance = 2048;  // absurdly early prefetches
+  acfg.increase_step = 8;
+
+  const AdaptiveRunResult r =
+      run_adaptive_experiment(trace, base, acfg, /*interval_iters=*/2000);
+  ASSERT_GE(r.intervals, 10u);
+  EXPECT_LT(r.final_distance(), 2048u / 4);
+  // Trajectory must be non-increasing until it leaves the polluting regime.
+  EXPECT_LT(r.distance_trajectory.back(), r.distance_trajectory.front());
+}
+
+TEST(AdaptiveRunTest, AggregateCountsAllIntervals) {
+  SyntheticConfig wcfg;
+  wcfg.iterations = 8000;
+  const SyntheticWorkload w(wcfg);
+  const TraceBuffer trace = w.emit_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+  const AdaptiveRunResult r =
+      run_adaptive_experiment(trace, base, cfg(), 1000);
+  EXPECT_EQ(r.intervals, 8u);
+  EXPECT_EQ(r.distance_trajectory.size(), 8u);
+  EXPECT_GT(r.aggregate.l2_lookups, 0u);
+  EXPECT_GT(r.aggregate.runtime, 0u);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,204 @@
+// Tests for the advisory API and the occupancy sampler.
+#include <gtest/gtest.h>
+
+#include "spf/core/advisor.hpp"
+#include "spf/sim/simulator.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/synthetic.hpp"
+
+namespace spf {
+namespace {
+
+CacheGeometry small_l2() { return CacheGeometry(128 * 1024, 16, 64); }
+
+TEST(AdvisorTest, RecommendsSpForPointerChase) {
+  Em3dConfig c;
+  c.nodes = 4000;
+  c.arity = 32;
+  c.passes = 1;
+  Em3dWorkload w(c);
+  AdvisorConfig cfg;
+  cfg.l2 = small_l2();
+  const AdvisorReport report =
+      advise_sp(w.emit_trace(), w.invocation_starts(), cfg);
+
+  EXPECT_TRUE(report.sp_recommended);
+  EXPECT_GT(report.patterns.irregular_fraction, 0.5);
+  EXPECT_LT(report.calr.calr, 0.5);
+  EXPECT_NEAR(report.rp, 0.5, 0.2);
+  EXPECT_TRUE(report.sa.merged.any_saturated());
+  EXPECT_TRUE(report.bound.allows(report.recommended.a_ski));
+  ASSERT_TRUE(report.validation.has_value());
+  EXPECT_LT(report.validation->norm_runtime(), 0.95);
+  EXPECT_NE(report.to_string().find("SP recommended"), std::string::npos);
+}
+
+TEST(AdvisorTest, PushesBackOnRegularStreams) {
+  SyntheticConfig c;
+  c.iterations = 12000;
+  c.sequential_lines = 12;
+  c.strided_reads = 3;
+  c.random_reads = 1;
+  const SyntheticWorkload w(c);
+  AdvisorConfig cfg;
+  cfg.l2 = small_l2();
+  cfg.validate = false;  // isolate the static heuristic path
+  const AdvisorReport report =
+      advise_sp(w.emit_trace(), w.invocation_starts(), cfg);
+  EXPECT_FALSE(report.sp_recommended);
+  ASSERT_FALSE(report.caveats.empty());
+}
+
+TEST(AdvisorTest, ValidationOverridesPessimisticHeuristic) {
+  // Same regular-heavy stream, but with validation on: if the simulated run
+  // shows a large gain, the advisor must recommend SP despite the pattern
+  // caveat.
+  SyntheticConfig c;
+  c.iterations = 12000;
+  c.sequential_lines = 12;
+  c.strided_reads = 3;
+  c.random_reads = 1;
+  const SyntheticWorkload w(c);
+  AdvisorConfig cfg;
+  cfg.l2 = small_l2();
+  const AdvisorReport report =
+      advise_sp(w.emit_trace(), w.invocation_starts(), cfg);
+  ASSERT_TRUE(report.validation.has_value());
+  if (report.validation->norm_runtime() < 0.9) {
+    EXPECT_TRUE(report.sp_recommended);
+  } else if (report.validation->norm_runtime() > 0.98) {
+    EXPECT_FALSE(report.sp_recommended);
+  }
+}
+
+TEST(AdvisorTest, SmallWorkingSetIsUnconstrained) {
+  SyntheticConfig c;
+  c.iterations = 4000;
+  c.random_footprint_lines = 64;  // trivially cache-resident
+  c.sequential_lines = 0;
+  c.strided_reads = 0;
+  c.random_reads = 8;
+  const SyntheticWorkload w(c);
+  AdvisorConfig cfg;
+  cfg.l2 = CacheGeometry(4 << 20, 16, 64);
+  cfg.validate = false;
+  const AdvisorReport report =
+      advise_sp(w.emit_trace(), w.invocation_starts(), cfg);
+  EXPECT_FALSE(report.sa.merged.any_saturated());
+  EXPECT_TRUE(report.bound.allows(1 << 20));
+  bool found = false;
+  for (const auto& cvt : report.caveats) {
+    found |= cvt.find("fits in the shared cache") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AdvisorTest, ValidateFalseSkipsSimulation) {
+  Em3dConfig c;
+  c.nodes = 1000;
+  c.arity = 8;
+  c.passes = 1;
+  Em3dWorkload w(c);
+  AdvisorConfig cfg;
+  cfg.l2 = small_l2();
+  cfg.validate = false;
+  const AdvisorReport report =
+      advise_sp(w.emit_trace(), w.invocation_starts(), cfg);
+  EXPECT_FALSE(report.validation.has_value());
+}
+
+TEST(AdvisorDeathTest, EmptyTraceRejected) {
+  EXPECT_DEATH((void)advise_sp(TraceBuffer{}, {0}, AdvisorConfig{}), "empty");
+}
+
+TEST(OccupancyTest, SnapshotSplitsByProvenanceAndUse) {
+  Cache cache(CacheGeometry(1024, 2, 64), ReplacementKind::kLru);
+  cache.fill(1, FillOrigin::kDemand, 0, 0);
+  cache.fill(2, FillOrigin::kHelper, 1, 0);
+  cache.fill(3, FillOrigin::kHelper, 1, 0);
+  cache.access(3, AccessKind::kRead, 1);  // consume one helper line
+  cache.fill(4, FillOrigin::kHardware, 0, 0);
+  const OccupancySample s = snapshot_occupancy(cache, 42);
+  EXPECT_EQ(s.when, 42u);
+  EXPECT_EQ(s.demand_lines, 1u);
+  EXPECT_EQ(s.helper_used, 1u);
+  EXPECT_EQ(s.helper_unused, 1u);
+  EXPECT_EQ(s.hw_used, 0u);
+  EXPECT_EQ(s.hw_unused, 1u);
+  EXPECT_EQ(s.total(), 4u);
+  EXPECT_EQ(s.unused_prefetch(), 2u);
+}
+
+TEST(OccupancyTest, SeriesStatistics) {
+  OccupancySeries series;
+  series.samples.push_back(OccupancySample{.when = 0,
+                                           .demand_lines = 8,
+                                           .helper_unused = 2});   // 20% unused
+  series.samples.push_back(OccupancySample{.when = 100,
+                                           .demand_lines = 4,
+                                           .hw_unused = 6});       // 60% unused
+  EXPECT_NEAR(series.mean_unused_prefetch_fraction(), 0.4, 1e-9);
+  EXPECT_EQ(series.peak_unused_prefetch(), 6u);
+  EXPECT_FALSE(series.to_string().empty());
+}
+
+TEST(OccupancyTest, SimulatorSamplesWhenEnabled) {
+  SyntheticConfig c;
+  c.iterations = 6000;
+  const SyntheticWorkload w(c);
+  const TraceBuffer trace = w.emit_trace();
+  SimConfig cfg;
+  cfg.l2 = small_l2();
+  cfg.occupancy_sample_interval = 50000;
+  CmpSimulator sim(cfg);
+  const SimResult r = sim.run({CoreStream{.trace = &trace}});
+  ASSERT_FALSE(r.occupancy.empty());
+  Cycle prev = 0;
+  for (const OccupancySample& s : r.occupancy.samples) {
+    EXPECT_GE(s.when, prev);
+    prev = s.when;
+    EXPECT_LE(s.total(), cfg.l2.num_sets() * cfg.l2.ways());
+  }
+}
+
+TEST(OccupancyTest, DisabledByDefault) {
+  SyntheticConfig c;
+  c.iterations = 500;
+  const SyntheticWorkload w(c);
+  const TraceBuffer trace = w.emit_trace();
+  CmpSimulator sim(SimConfig{});
+  const SimResult r = sim.run({CoreStream{.trace = &trace}});
+  EXPECT_TRUE(r.occupancy.empty());
+}
+
+TEST(OccupancyTest, HelperInflatesUnusedPrefetchOccupancy) {
+  Em3dConfig c;
+  c.nodes = 4000;
+  c.arity = 32;
+  c.passes = 1;
+  Em3dWorkload w(c);
+  const TraceBuffer trace = w.emit_trace();
+  const TraceBuffer helper =
+      make_helper_trace(trace, SpParams{.a_ski = 200, .a_pre = 200});
+
+  SimConfig cfg;
+  cfg.l2 = small_l2();
+  cfg.occupancy_sample_interval = 100000;
+
+  CmpSimulator solo_sim(cfg);
+  const SimResult solo = solo_sim.run({CoreStream{.trace = &trace}});
+  CmpSimulator sp_sim(cfg);
+  const SimResult sp = sp_sim.run({
+      CoreStream{.trace = &trace},
+      CoreStream{.trace = &helper,
+                 .origin = FillOrigin::kHelper,
+                 .sync = RoundSync{.leader = 0, .round_iters = 400}},
+  });
+  ASSERT_FALSE(solo.occupancy.empty());
+  ASSERT_FALSE(sp.occupancy.empty());
+  EXPECT_GT(sp.occupancy.mean_unused_prefetch_fraction(),
+            solo.occupancy.mean_unused_prefetch_fraction());
+}
+
+}  // namespace
+}  // namespace spf

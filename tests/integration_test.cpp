@@ -1,0 +1,198 @@
+// Integration tests: the paper's end-to-end claims exercised across
+// workloads -> profiler -> SP core -> simulator.
+#include <gtest/gtest.h>
+
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/profile/calr.hpp"
+#include "spf/profile/invocations.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace spf {
+namespace {
+
+// Compact experiment geometry: 128 KB 16-way L2 (128 sets) keeps runtimes in
+// CI range while preserving the paper's geometry ratios.
+CacheGeometry test_l2() { return CacheGeometry(128 * 1024, 16, 64); }
+
+Em3dConfig em3d_cfg() {
+  Em3dConfig c;
+  c.nodes = 4000;
+  c.arity = 32;
+  c.passes = 1;
+  return c;
+}
+
+SpExperimentConfig exp_cfg(std::uint32_t distance) {
+  SpExperimentConfig cfg;
+  cfg.sim.l2 = test_l2();
+  cfg.params = SpParams::from_distance_rp(distance, 0.5);
+  return cfg;
+}
+
+class Em3dIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Em3dWorkload(em3d_cfg());
+    trace_ = new TraceBuffer(workload_->emit_trace());
+    bound_ = new DistanceBound(estimate_distance_bound(
+        *trace_, workload_->invocation_starts(), test_l2()));
+  }
+  static void TearDownTestSuite() {
+    delete bound_;
+    delete trace_;
+    delete workload_;
+    workload_ = nullptr;
+    trace_ = nullptr;
+    bound_ = nullptr;
+  }
+
+  static Em3dWorkload* workload_;
+  static TraceBuffer* trace_;
+  static DistanceBound* bound_;
+};
+
+Em3dWorkload* Em3dIntegration::workload_ = nullptr;
+TraceBuffer* Em3dIntegration::trace_ = nullptr;
+DistanceBound* Em3dIntegration::bound_ = nullptr;
+
+TEST_F(Em3dIntegration, LowCalrSelectsRpHalf) {
+  CalrConfig cc;
+  cc.l2 = test_l2();
+  const CalrEstimate calr = estimate_calr(*trace_, cc);
+  EXPECT_LT(calr.calr, 0.2);  // paper: "CALR close to 0" for EM3D
+  EXPECT_NEAR(SpParams::rp_from_calr(calr.calr), 0.5, 0.11);
+}
+
+TEST_F(Em3dIntegration, BoundIsMeaningfullySized) {
+  // With 32 fresh delinquent lines/iteration over 128 sets, sets saturate in
+  // tens of iterations: the bound must be small but nonzero.
+  EXPECT_GE(bound_->upper_limit, 2u);
+  EXPECT_LE(bound_->upper_limit, 200u);
+}
+
+TEST_F(Em3dIntegration, SpWithinBoundBeatsOriginal) {
+  const SpComparison cmp = run_sp_experiment(
+      *trace_, exp_cfg(std::max(1u, bound_->upper_limit / 2)));
+  EXPECT_LT(cmp.norm_runtime(), 0.95);
+  EXPECT_LT(cmp.norm_hot_misses(), 0.8);
+  EXPECT_GT(cmp.delta_totally_hit(), 0.0);
+}
+
+TEST_F(Em3dIntegration, ExcessiveDistancePollutesAndSlows) {
+  const std::uint32_t good = std::max(1u, bound_->upper_limit / 2);
+  const std::uint32_t bad = bound_->upper_limit * 8;
+  const SpComparison cmp_good = run_sp_experiment(*trace_, exp_cfg(good));
+  const SpComparison cmp_bad = run_sp_experiment(*trace_, exp_cfg(bad));
+  // Paper Figure 2/4: larger distance -> more pollution, worse runtime,
+  // fewer totally hits.
+  EXPECT_GT(cmp_bad.sp.pollution.total_pollution(),
+            cmp_good.sp.pollution.total_pollution());
+  EXPECT_GT(cmp_bad.norm_runtime(), cmp_good.norm_runtime());
+  EXPECT_LT(cmp_bad.delta_totally_hit(), cmp_good.delta_totally_hit());
+}
+
+TEST_F(Em3dIntegration, HelperNeverAltersMainDemandCount) {
+  const SpComparison cmp = run_sp_experiment(*trace_, exp_cfg(8));
+  const std::uint64_t classified = cmp.sp.totally_hits + cmp.sp.partially_hits +
+                                   cmp.sp.totally_misses;
+  EXPECT_EQ(classified, cmp.sp.l2_lookups);
+  // Original and SP runs see the same demand stream.
+  EXPECT_EQ(cmp.original.totally_hits + cmp.original.partially_hits +
+                cmp.original.totally_misses,
+            cmp.original.l2_lookups);
+}
+
+TEST_F(Em3dIntegration, Case3RequiresHardwarePrefetchers) {
+  SpExperimentConfig with_hw = exp_cfg(bound_->upper_limit * 4);
+  SpExperimentConfig no_hw = with_hw;
+  no_hw.sim.hw_prefetch = false;
+  no_hw.baseline_hw_prefetch = false;
+  const SpRunSummary sp_hw = run_sp_once(*trace_, with_hw);
+  const SpRunSummary sp_no = run_sp_once(*trace_, no_hw);
+  EXPECT_GT(sp_hw.pollution.case3_hw_displaced, 0u);
+  EXPECT_EQ(sp_no.pollution.case3_hw_displaced, 0u);
+}
+
+TEST_F(Em3dIntegration, RefinedBoundConsistentWithFormula) {
+  // Paper: SA_with_helper * 2 <= SA_original, so the refined limit can only
+  // tighten the original/2 rule.
+  const SpParams params = SpParams::from_distance_rp(bound_->upper_limit, 0.5);
+  const DistanceBound refined = refine_with_helper(
+      *bound_, *trace_, workload_->invocation_starts(), params, test_l2());
+  EXPECT_LE(refined.upper_limit, std::max(1u, bound_->original_min_sa / 2));
+  ASSERT_TRUE(refined.with_helper_min_sa.has_value());
+  EXPECT_LE(*refined.with_helper_min_sa, bound_->original_min_sa);
+}
+
+TEST(SaOrderingIntegration, Em3dSaturatesFarFasterThanMcfAndMst) {
+  // Table II's qualitative ordering: EM3D's SA range is orders of magnitude
+  // below MCF's and MST's.
+  const CacheGeometry l2 = test_l2();
+
+  Em3dWorkload em3d(em3d_cfg());
+  const TraceBuffer em3d_trace = em3d.emit_trace();
+  const WorkloadSaResult em3d_sa =
+      analyze_workload_sa(em3d_trace, em3d.invocation_starts(), l2);
+
+  McfConfig mcf_cfg;
+  mcf_cfg.nodes = 3000;
+  mcf_cfg.arcs = 18000;
+  mcf_cfg.passes = 2;
+  McfWorkload mcf(mcf_cfg);
+  const TraceBuffer mcf_trace = mcf.emit_trace();
+  const WorkloadSaResult mcf_sa =
+      analyze_workload_sa(mcf_trace, mcf.invocation_starts(), l2);
+
+  MstConfig mst_cfg;
+  mst_cfg.vertices = 400;
+  mst_cfg.degree = 32;
+  mst_cfg.buckets = 16;
+  MstWorkload mst(mst_cfg);
+  const TraceBuffer mst_trace = mst.emit_trace();
+  const WorkloadSaResult mst_sa =
+      analyze_workload_sa(mst_trace, mst.invocation_starts(), l2);
+
+  ASSERT_TRUE(em3d_sa.merged.any_saturated());
+  ASSERT_TRUE(mcf_sa.merged.any_saturated());
+  ASSERT_TRUE(mst_sa.merged.any_saturated());
+
+  // min SA is an order statistic over sets and noisy at test scale, so the
+  // ordering is asserted on both endpoints with conservative factors.
+  EXPECT_LT(em3d_sa.merged.min_sa() * 8, mcf_sa.merged.min_sa());
+  EXPECT_LT(em3d_sa.merged.min_sa() * 2, mst_sa.merged.min_sa());
+  EXPECT_LT(em3d_sa.merged.quantile(0.5) * 8, mcf_sa.merged.quantile(0.5));
+  EXPECT_LT(em3d_sa.merged.quantile(0.5) * 3, mst_sa.merged.quantile(0.5));
+}
+
+TEST(McfIntegration, SpImprovesPricingLoop) {
+  McfConfig cfg;
+  cfg.nodes = 3000;
+  cfg.arcs = 18000;
+  cfg.passes = 2;
+  McfWorkload w(cfg);
+  const TraceBuffer trace = w.emit_trace();
+  const DistanceBound bound =
+      estimate_distance_bound(trace, w.invocation_starts(), test_l2());
+  const SpComparison cmp = run_sp_experiment(
+      trace, exp_cfg(std::max(1u, bound.upper_limit / 4)));
+  EXPECT_LT(cmp.norm_runtime(), 1.0);
+  EXPECT_LT(cmp.sp.totally_misses, cmp.original.totally_misses);
+}
+
+TEST(MstIntegration, SpImprovesBlueRuleScan) {
+  MstConfig cfg;
+  cfg.vertices = 400;
+  cfg.degree = 32;
+  cfg.buckets = 64;
+  MstWorkload w(cfg);
+  const TraceBuffer trace = w.emit_trace();
+  const SpComparison cmp = run_sp_experiment(trace, exp_cfg(16));
+  EXPECT_LT(cmp.norm_runtime(), 1.05);
+  EXPECT_LE(cmp.sp.totally_misses, cmp.original.totally_misses);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,159 @@
+// Randomized robustness tests for the IR: generate structurally valid random
+// programs and check interpreter invariants — verify() accepts them, loads/
+// stores match trace records, execution is deterministic, and helper
+// interpretation of a sliceable program never stores and stays a subset of
+// iteration space.
+#include <gtest/gtest.h>
+
+#include "spf/common/rng.hpp"
+#include "spf/core/sp_params.hpp"
+#include "spf/ir/interp.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/slice.hpp"
+#include "spf/ir/vm.hpp"
+
+namespace spf::ir {
+namespace {
+
+/// Generates a random well-formed program: arithmetic over previous values,
+/// loads at (masked) computed addresses, occasional stores, at most one
+/// inner loop with a bounded trip constant, and a register-carried pointer
+/// chased through a pre-seeded ring.
+Program random_program(std::uint64_t seed, VirtualMemory& vm) {
+  Xoshiro256 rng(seed);
+  ProgramBuilder b(static_cast<std::uint32_t>(8 + rng.below(64)));
+
+  // Seed a pointer ring so register chases stay inside a known region.
+  constexpr Addr kRing = 0x100000;
+  constexpr std::uint64_t kRingNodes = 32;
+  for (std::uint64_t i = 0; i < kRingNodes; ++i) {
+    vm.write(kRing + i * 64, kRing + ((i + 1) % kRingNodes) * 64);
+  }
+
+  std::vector<std::int32_t> values;  // ids usable as operands (current scope)
+  values.push_back(b.constant(kRing));
+  values.push_back(b.constant(0xffff8));  // address mask (keeps addrs sane)
+  values.push_back(b.iter_index());
+  const std::int32_t mask = values[1];
+
+  auto any_value = [&]() {
+    return values[rng.below(values.size())];
+  };
+  auto masked_addr = [&]() {
+    // (v & mask) + ring base: valid, bounded addresses.
+    return b.add(b.band(any_value(), mask), values[0]);
+  };
+
+  // Spine chase through the ring.
+  const auto cur = b.reg_read(0);
+  values.push_back(cur);
+  const auto next = b.load(cur, 1, kFlagSpine);
+  values.push_back(next);
+  b.reg_write(0, next);
+
+  const std::uint64_t instrs = 4 + rng.below(20);
+  bool in_loop = false;
+  std::size_t loop_values_mark = 0;
+  for (std::uint64_t k = 0; k < instrs; ++k) {
+    switch (rng.below(in_loop ? 6 : 7)) {
+      case 0:
+        values.push_back(b.add(any_value(), any_value()));
+        break;
+      case 1:
+        values.push_back(b.mul(any_value(), any_value()));
+        break;
+      case 2:
+        values.push_back(b.shl(any_value(), rng.below(4)));
+        break;
+      case 3:
+        values.push_back(b.load(masked_addr(), 2,
+                                rng.below(2) ? kFlagDelinquent : TraceFlags{0},
+                                static_cast<std::uint16_t>(rng.below(4))));
+        break;
+      case 4:
+        b.store(masked_addr(), any_value(), 3);
+        break;
+      case 5:
+        if (in_loop) {
+          b.loop_end();
+          in_loop = false;
+          values.resize(loop_values_mark);  // in-loop values out of scope
+        } else {
+          values.push_back(b.inner_index());
+        }
+        break;
+      case 6: {
+        const auto trip = b.constant(1 + rng.below(5));
+        values.push_back(trip);
+        b.loop_begin(trip);
+        in_loop = true;
+        loop_values_mark = values.size();
+        values.push_back(b.inner_index());
+        break;
+      }
+    }
+  }
+  if (in_loop) b.loop_end();
+  // Guarantee at least one delinquent load so slicing has a seed.
+  b.load(masked_addr(), 4, kFlagDelinquent);
+
+  Program p = b.take();
+  p.reg_init = {kRing};
+  return p;
+}
+
+class IrFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrFuzzTest, InterpreterInvariantsHold) {
+  VirtualMemory vm;
+  const Program p = random_program(GetParam(), vm);
+  EXPECT_TRUE(verify(p).empty());
+
+  VirtualMemory vm_a = vm;
+  VirtualMemory vm_b = vm;
+  const InterpResult a = interpret(p, vm_a);
+  const InterpResult b = interpret(p, vm_b);
+
+  // Determinism.
+  EXPECT_EQ(a.store_checksum, b.store_checksum);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+
+  // Trace bookkeeping matches counters.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (const TraceRecord& r : a.trace) {
+    EXPECT_LT(r.outer_iter, p.outer_trip);
+    (r.kind() == AccessKind::kWrite ? writes : reads) += 1;
+  }
+  EXPECT_EQ(reads, a.loads);
+  EXPECT_EQ(writes, a.stores);
+
+  // Slicing + helper interpretation invariants.
+  const SliceMasks masks = build_helper_slice(p);
+  EXPECT_LE(masks.spine_count(), masks.helper_count());
+  const SpParams params{.a_ski = 2, .a_pre = 2};
+  const InterpResult helper = interpret_helper(p, masks, params, vm);
+  EXPECT_EQ(helper.stores, 0u);
+  for (const TraceRecord& r : helper.trace) {
+    EXPECT_NE(r.kind(), AccessKind::kWrite);
+    EXPECT_LT(r.outer_iter, p.outer_trip);
+  }
+  // The helper issues every delinquent load of pre-executed iterations.
+  std::uint64_t main_delinquent_pre = 0;
+  for (const TraceRecord& r : a.trace) {
+    if (r.is_delinquent() && r.outer_iter % params.round() >= params.a_ski) {
+      ++main_delinquent_pre;
+    }
+  }
+  std::uint64_t helper_delinquent = 0;
+  for (const TraceRecord& r : helper.trace) {
+    helper_delinquent += r.is_delinquent();
+  }
+  EXPECT_EQ(helper_delinquent, main_delinquent_pre);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace spf::ir

@@ -1,0 +1,521 @@
+// Tests for the mini loop IR: builder/verifier, interpreter semantics,
+// helper-thread slicing, and the EM3D encoding cross-checked against the
+// hand-instrumented trace emitter.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spf/ir/interp.hpp"
+#include "spf/ir/ir.hpp"
+#include "spf/ir/slice.hpp"
+#include "spf/core/helper_gen.hpp"
+#include "spf/ir/vm.hpp"
+#include "spf/profile/invocations.hpp"
+#include "spf/trace/trace_stats.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/em3d_ir.hpp"
+#include "spf/workloads/mcf_ir.hpp"
+#include "spf/workloads/mst_ir.hpp"
+
+namespace spf::ir {
+namespace {
+
+TEST(VirtualMemoryTest, ReadWriteAndAlignment) {
+  VirtualMemory vm;
+  EXPECT_EQ(vm.read(0x100), 0u);  // untouched reads as zero
+  vm.write(0x100, 42);
+  EXPECT_EQ(vm.read(0x100), 42u);
+  EXPECT_EQ(vm.read(0x104), 42u);  // same aligned word
+  vm.write(0x108, 7);
+  EXPECT_EQ(vm.read(0x108), 7u);
+  EXPECT_EQ(vm.resident_words(), 2u);
+}
+
+TEST(VerifyTest, AcceptsWellFormedProgram) {
+  ProgramBuilder b(4);
+  const auto c = b.constant(100);
+  const auto i = b.iter_index();
+  b.load(b.add(c, i), 0);
+  EXPECT_TRUE(verify(b.take()).empty());
+}
+
+TEST(VerifyTest, RejectsForwardReference) {
+  Program p;
+  p.outer_trip = 1;
+  p.code.push_back(Instr{.op = OpCode::kAdd, .a = 0, .b = 1});  // self/forward
+  EXPECT_NE(verify(p).find("earlier instruction"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsNestedLoops) {
+  Program p;
+  p.outer_trip = 1;
+  p.code.push_back(Instr{.op = OpCode::kConst, .imm = 2});
+  p.code.push_back(Instr{.op = OpCode::kLoopBegin, .a = 0});
+  p.code.push_back(Instr{.op = OpCode::kLoopBegin, .a = 0});
+  p.code.push_back(Instr{.op = OpCode::kLoopEnd});
+  p.code.push_back(Instr{.op = OpCode::kLoopEnd});
+  EXPECT_NE(verify(p).find("nested"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsUnterminatedLoopAndBadReg) {
+  Program p;
+  p.outer_trip = 1;
+  p.num_regs = 2;
+  p.code.push_back(Instr{.op = OpCode::kConst, .imm = 2});
+  p.code.push_back(Instr{.op = OpCode::kLoopBegin, .a = 0});
+  p.code.push_back(Instr{.op = OpCode::kRegRead, .imm = 9});
+  const std::string err = verify(p);
+  EXPECT_NE(err.find("unterminated"), std::string::npos);
+  EXPECT_NE(err.find("register"), std::string::npos);
+}
+
+TEST(InterpTest, ArithmeticAndRegisters) {
+  // reg0 accumulates iteration indices: after 5 iterations reg0 = 0+1+2+3+4,
+  // stored to address 0x1000 each iteration.
+  ProgramBuilder b(5);
+  const auto acc = b.reg_read(0);
+  const auto i = b.iter_index();
+  const auto sum = b.add(acc, i);
+  b.reg_write(0, sum);
+  const auto addr = b.constant(0x1000);
+  b.store(addr, sum, 7);
+  Program p = b.take();
+
+  VirtualMemory vm;
+  const InterpResult r = interpret(p, vm);
+  EXPECT_EQ(vm.read(0x1000), 10u);
+  EXPECT_EQ(r.stores, 5u);
+  EXPECT_EQ(r.trace.size(), 5u);
+  EXPECT_EQ(r.trace[0].kind(), AccessKind::kWrite);
+  EXPECT_EQ(r.trace[4].outer_iter, 4u);
+}
+
+TEST(InterpTest, PointerChaseFollowsMemory) {
+  // A three-node circular list at 0x100 -> 0x200 -> 0x300 -> 0x100.
+  VirtualMemory vm;
+  vm.write(0x100, 0x200);
+  vm.write(0x200, 0x300);
+  vm.write(0x300, 0x100);
+
+  ProgramBuilder b(6);
+  const auto cur = b.reg_read(0);
+  const auto next = b.load(cur, 1, kFlagSpine);
+  b.reg_write(0, next);
+  Program p = b.take();
+  p.reg_init = {0x100};
+
+  const InterpResult r = interpret(p, vm);
+  ASSERT_EQ(r.trace.size(), 6u);
+  EXPECT_EQ(r.trace[0].addr, 0x100u);
+  EXPECT_EQ(r.trace[1].addr, 0x200u);
+  EXPECT_EQ(r.trace[2].addr, 0x300u);
+  EXPECT_EQ(r.trace[3].addr, 0x100u);  // wrapped
+}
+
+TEST(InterpTest, InnerLoopWithRuntimeTripCount) {
+  // Inner trip count loaded from memory: mem[0x10] = 3.
+  VirtualMemory vm;
+  vm.write(0x10, 3);
+  ProgramBuilder b(2);
+  const auto trip = b.load(b.constant(0x10), 0);
+  b.loop_begin(trip);
+  const auto j = b.inner_index();
+  const auto base = b.constant(0x1000);
+  b.load(b.add(base, b.shl(j, 3)), 1);
+  b.loop_end();
+  Program p = b.take();
+
+  const InterpResult r = interpret(p, vm);
+  // Per outer iteration: 1 trip load + 3 inner loads.
+  EXPECT_EQ(r.loads, 2u * 4u);
+  // Inner loads hit 0x1000, 0x1008, 0x1010.
+  EXPECT_EQ(r.trace[1].addr, 0x1000u);
+  EXPECT_EQ(r.trace[2].addr, 0x1008u);
+  EXPECT_EQ(r.trace[3].addr, 0x1010u);
+}
+
+TEST(InterpTest, ZeroTripLoopBodySkipped) {
+  VirtualMemory vm;
+  ProgramBuilder b(3);
+  const auto zero = b.constant(0);
+  b.loop_begin(zero);
+  b.load(b.constant(0x99), 1);
+  b.loop_end();
+  b.load(b.constant(0x42), 2);
+  const InterpResult r = interpret(b.take(), vm);
+  EXPECT_EQ(r.loads, 3u);  // only the post-loop load, once per iteration
+  for (const TraceRecord& rec : r.trace) EXPECT_EQ(rec.addr, 0x42u);
+}
+
+TEST(InterpTest, Deterministic) {
+  Em3dConfig cfg;
+  cfg.nodes = 200;
+  cfg.arity = 8;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr a = build_em3d_ir(model);
+  Em3dIr bb = build_em3d_ir(model);
+  const InterpResult ra = interpret(a.program, a.memory);
+  const InterpResult rb = interpret(bb.program, bb.memory);
+  EXPECT_EQ(ra.store_checksum, rb.store_checksum);
+  EXPECT_EQ(ra.trace.size(), rb.trace.size());
+}
+
+// ---------------------------------------------------------------------------
+// Slicing.
+
+TEST(SliceTest, Em3dSliceKeepsAddressPathDropsValuePath) {
+  Em3dConfig cfg;
+  cfg.nodes = 100;
+  cfg.arity = 4;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  const Em3dIr em3d = build_em3d_ir(model);
+  const SliceMasks masks = build_helper_slice(em3d.program);
+  const SliceStats stats = slice_stats(em3d.program, masks);
+
+  EXPECT_GT(stats.helper_instrs, 0u);
+  EXPECT_LT(stats.helper_instrs, stats.program_instrs);
+  EXPECT_EQ(stats.dropped_stores, 1u);  // node->value writeback
+  EXPECT_GT(stats.dropped_compute, 0u);  // coeff load + mul/sub/acc chain
+
+  // Per-instruction checks: every delinquent load kept; the coefficient
+  // load and the store dropped; the spine register update kept in both
+  // masks.
+  for (std::size_t i = 0; i < em3d.program.code.size(); ++i) {
+    const Instr& ins = em3d.program.code[i];
+    if (ins.op == OpCode::kLoad && (ins.flags & kFlagDelinquent)) {
+      EXPECT_TRUE(masks.helper_mask[i]);
+    }
+    if (ins.op == OpCode::kLoad && ins.site == kEm3dCoeffs) {
+      EXPECT_FALSE(masks.helper_mask[i]) << "value-only load kept";
+    }
+    if (ins.op == OpCode::kStore) {
+      EXPECT_FALSE(masks.helper_mask[i]);
+    }
+    if (ins.op == OpCode::kRegWrite && ins.imm == 0) {
+      EXPECT_TRUE(masks.spine_mask[i]) << "spine update missing from skip set";
+    }
+    if (ins.op == OpCode::kRegWrite && ins.imm == 1) {
+      EXPECT_FALSE(masks.helper_mask[i]) << "accumulator kept";
+    }
+  }
+}
+
+TEST(SliceTest, ArrayScanHasEmptySpine) {
+  // MCF-shaped loop: arc = base + i*64 (recomputed from the induction
+  // variable, no loop-carried pointer), so skipping costs nothing.
+  ProgramBuilder b(10);
+  const auto base = b.constant(0x10000);
+  const auto i = b.iter_index();
+  const auto arc = b.add(base, b.shl(i, 6));
+  const auto tail = b.load(arc, 0);  // address-gen
+  b.load(tail, 1, kFlagDelinquent);  // potential
+  const SliceMasks masks = build_helper_slice(b.take());
+  EXPECT_EQ(masks.spine_count(), 0u);
+  EXPECT_GT(masks.helper_count(), 0u);
+}
+
+TEST(SliceDeathTest, NoDelinquentLoadsIsAnError) {
+  ProgramBuilder b(2);
+  b.load(b.constant(0x10), 0);
+  const Program p = b.take();
+  EXPECT_DEATH((void)build_helper_slice(p), "delinquent");
+}
+
+// ---------------------------------------------------------------------------
+// Helper interpretation (round structure).
+
+TEST(HelperInterpTest, SkipPhaseTouchesOnlySpine) {
+  Em3dConfig cfg;
+  cfg.nodes = 64;
+  cfg.arity = 4;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const SliceMasks masks = build_helper_slice(em3d.program);
+  const SpParams params{.a_ski = 4, .a_pre = 4};
+  const InterpResult helper =
+      interpret_helper(em3d.program, masks, params, em3d.memory);
+
+  EXPECT_EQ(helper.stores, 0u);
+  for (const TraceRecord& r : helper.trace) {
+    const std::uint32_t pos = r.outer_iter % 8;
+    if (pos < 4) {
+      // Skip phase: only the next-pointer chase.
+      EXPECT_TRUE(r.is_spine()) << "iter " << r.outer_iter;
+      EXPECT_EQ(r.site, kEm3dNode);
+    }
+  }
+  // Pre-execute iterations carry the delinquent loads.
+  std::set<std::uint32_t> delinquent_iters;
+  for (const TraceRecord& r : helper.trace) {
+    if (r.is_delinquent()) delinquent_iters.insert(r.outer_iter % 8);
+  }
+  EXPECT_EQ(delinquent_iters, (std::set<std::uint32_t>{4, 5, 6, 7}));
+}
+
+TEST(HelperInterpTest, HelperChasesTheRealChain) {
+  // The helper's spine must follow the same node sequence as the main
+  // program: compare the spine-load address streams.
+  Em3dConfig cfg;
+  cfg.nodes = 50;
+  cfg.arity = 2;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const SliceMasks masks = build_helper_slice(em3d.program);
+  const InterpResult main_run = interpret(em3d.program, em3d.memory);
+  const InterpResult helper = interpret_helper(
+      em3d.program, masks, SpParams{.a_ski = 0, .a_pre = 5}, em3d.memory);
+
+  auto spine_next_addrs = [](const TraceBuffer& t) {
+    std::vector<Addr> addrs;
+    for (const TraceRecord& r : t) {
+      // The next-pointer load is the spine load at offset 8 of the node.
+      if (r.is_spine() && (r.addr & 63) == 8) addrs.push_back(r.addr);
+    }
+    return addrs;
+  };
+  EXPECT_EQ(spine_next_addrs(main_run.trace), spine_next_addrs(helper.trace));
+}
+
+TEST(HelperInterpTest, SliceHelperIsLeanerThanFlagHelper) {
+  // The slicing-based helper drops the coefficient loads the trace-flag
+  // transform keeps: fewer records for the same delinquent coverage.
+  Em3dConfig cfg;
+  cfg.nodes = 128;
+  cfg.arity = 8;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const SliceMasks masks = build_helper_slice(em3d.program);
+  const SpParams params{.a_ski = 8, .a_pre = 8};
+
+  const InterpResult main_run = interpret(em3d.program, em3d.memory);
+  const InterpResult slice_helper =
+      interpret_helper(em3d.program, masks, params, em3d.memory);
+  const TraceBuffer flag_helper = spf::make_helper_trace(main_run.trace, params);
+
+  auto count_delinquent = [](const TraceBuffer& t) {
+    std::uint64_t n = 0;
+    for (const TraceRecord& r : t) n += r.is_delinquent();
+    return n;
+  };
+  EXPECT_EQ(count_delinquent(slice_helper.trace),
+            count_delinquent(flag_helper));
+  EXPECT_LT(slice_helper.trace.size(), flag_helper.size());
+}
+
+
+
+TEST(StripTest, StandaloneHelperMatchesMaskedExecution) {
+  Em3dConfig cfg;
+  cfg.nodes = 128;
+  cfg.arity = 8;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const SliceMasks masks = build_helper_slice(em3d.program);
+
+  // Stripped helper program, interpreted stand-alone (RP=1: every iteration
+  // pre-executes, so masked execution == plain execution of the strip).
+  Program helper_program = strip(em3d.program, masks.helper_mask);
+  EXPECT_TRUE(verify(helper_program).empty());
+  EXPECT_EQ(helper_program.size(), masks.helper_count());
+
+  VirtualMemory vm_copy = em3d.memory;
+  const InterpResult standalone = interpret(helper_program, vm_copy);
+  const InterpResult masked = interpret_helper(
+      em3d.program, masks, spf::SpParams{.a_ski = 0, .a_pre = 1}, em3d.memory);
+  ASSERT_EQ(standalone.trace.size(), masked.trace.size());
+  for (std::size_t i = 0; i < standalone.trace.size(); i += 17) {
+    EXPECT_EQ(standalone.trace[i], masked.trace[i]) << "record " << i;
+  }
+  EXPECT_EQ(standalone.stores, 0u);
+}
+
+TEST(StripTest, IdentityMaskIsIdentity) {
+  Em3dConfig cfg;
+  cfg.nodes = 16;
+  cfg.arity = 2;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const std::vector<bool> all(em3d.program.code.size(), true);
+  const Program copy = strip(em3d.program, all);
+  EXPECT_EQ(copy.size(), em3d.program.size());
+  ir::VirtualMemory vm_a = em3d.memory;
+  ir::VirtualMemory vm_b = em3d.memory;
+  EXPECT_EQ(interpret(copy, vm_a).store_checksum,
+            interpret(em3d.program, vm_b).store_checksum);
+}
+
+TEST(StripDeathTest, UnclosedMaskRejected) {
+  ProgramBuilder b(2);
+  const auto c = b.constant(0x40);
+  b.load(c, 0);
+  const Program p = b.take();
+  std::vector<bool> mask{false, true};  // load kept, its address dropped
+  EXPECT_DEATH((void)strip(p, mask), "not closed");
+}
+
+// ---------------------------------------------------------------------------
+// MCF in IR: array-scan shape with an empty spine.
+
+TEST(McfIrTest, SliceHasEmptySpineAndSkippingIsFree) {
+  McfConfig cfg;
+  cfg.nodes = 400;
+  cfg.arcs = 2400;
+  cfg.passes = 1;
+  McfWorkload model(cfg);
+  McfIr mcf = build_mcf_ir(model);
+  const SliceMasks masks = build_helper_slice(mcf.program);
+  EXPECT_EQ(masks.spine_count(), 0u);
+
+  // Skip iterations execute nothing at all: with a_ski=3, a_pre=1 the
+  // helper touches exactly 1/4 of the iterations.
+  const InterpResult helper = interpret_helper(
+      mcf.program, masks, spf::SpParams{.a_ski = 3, .a_pre = 1}, mcf.memory);
+  std::set<std::uint32_t> touched_iters;
+  for (const TraceRecord& r : helper.trace) touched_iters.insert(r.outer_iter);
+  EXPECT_EQ(touched_iters.size(), cfg.arcs / 4);
+  for (std::uint32_t it : touched_iters) EXPECT_EQ(it % 4, 3u);
+}
+
+TEST(McfIrTest, PotentialLoadsFollowArcEndpoints) {
+  McfConfig cfg;
+  cfg.nodes = 200;
+  cfg.arcs = 1000;
+  cfg.passes = 1;
+  McfWorkload model(cfg);
+  McfIr mcf = build_mcf_ir(model);
+  const InterpResult run = interpret(mcf.program, mcf.memory);
+  // Per iteration: 3 arc-line loads + 2 potential loads.
+  EXPECT_EQ(run.loads, 5ull * cfg.arcs);
+  // Check a few iterations dereference the right nodes.
+  std::size_t idx = 0;
+  for (std::uint32_t a = 0; a < 20; ++a) {
+    EXPECT_EQ(run.trace[idx + 3].addr, model.node_addr(model.tail_of(a)));
+    EXPECT_EQ(run.trace[idx + 4].addr, model.node_addr(model.head_of(a)));
+    idx += 5;
+  }
+}
+
+TEST(McfIrTest, PassesWrapTheArcIndex) {
+  McfConfig cfg;
+  cfg.nodes = 100;
+  cfg.arcs = 500;
+  cfg.passes = 3;
+  McfWorkload model(cfg);
+  McfIr mcf = build_mcf_ir(model);
+  const InterpResult run = interpret(mcf.program, mcf.memory);
+  EXPECT_EQ(run.trace[run.trace.size() - 1].outer_iter, 3u * 500u - 1u);
+  // First load of pass 2 hits arc 0 again.
+  const std::size_t per_iter = 5;
+  EXPECT_EQ(run.trace[cfg.arcs * per_iter].addr, model.arc_addr(0));
+}
+
+
+// ---------------------------------------------------------------------------
+// MST in IR: list spine + data-dependent hash-chain walk.
+
+TEST(MstIrTest, ScanFollowsRemainingListAndWalksChains) {
+  MstConfig cfg;
+  cfg.vertices = 300;
+  cfg.degree = 32;
+  cfg.buckets = 16;
+  MstWorkload model(cfg);
+  MstIr mst = build_mst_ir(model);
+  const InterpResult run = interpret(mst.program, mst.memory);
+
+  // One spine visit per remaining vertex, in first-scan order.
+  const auto order = model.first_scan_order();
+  std::vector<Addr> spine_addrs;
+  for (const TraceRecord& r : run.trace) {
+    if (r.is_spine() && (r.addr & 63) == 8) spine_addrs.push_back(r.addr - 8);
+  }
+  ASSERT_EQ(spine_addrs.size(), order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(spine_addrs[k], model.vertex_addr(order[k])) << "visit " << k;
+  }
+
+  // Chain walks match the model's chain lengths for the scanned bucket.
+  const std::uint32_t bucket = model.bucket_of_key(model.first_scan_new_vertex());
+  std::uint64_t expected_entries = 0;
+  for (std::uint32_t u : order) {
+    expected_entries += model.chain_entry_addrs(u, bucket).size();
+  }
+  std::uint64_t walked = 0;
+  for (const TraceRecord& r : run.trace) {
+    walked += r.site == kMstHashEntry;
+  }
+  EXPECT_EQ(walked, expected_entries);
+  EXPECT_EQ(run.stores, order.size());  // one mindist update per visit
+}
+
+TEST(MstIrTest, SliceKeepsSpineBucketAndChain) {
+  MstConfig cfg;
+  cfg.vertices = 200;
+  cfg.degree = 32;
+  cfg.buckets = 16;
+  MstWorkload model(cfg);
+  MstIr mst = build_mst_ir(model);
+  const SliceMasks masks = build_helper_slice(mst.program);
+  // The vertex-list spine must survive in the skip mask (reg0 chase).
+  EXPECT_GT(masks.spine_count(), 0u);
+  // The helper keeps bucket + chain loads, drops the store.
+  const InterpResult helper = interpret_helper(
+      mst.program, masks, spf::SpParams{.a_ski = 4, .a_pre = 4}, mst.memory);
+  EXPECT_EQ(helper.stores, 0u);
+  bool saw_bucket = false;
+  bool saw_entry = false;
+  for (const TraceRecord& r : helper.trace) {
+    saw_bucket |= r.site == kMstBucket;
+    saw_entry |= r.site == kMstHashEntry;
+    if (r.outer_iter % 8 < 4) {
+      EXPECT_TRUE(r.is_spine()) << "non-spine record in skip phase";
+    }
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_TRUE(saw_entry);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: IR encoding vs hand-instrumented emitter.
+
+TEST(Em3dIrDifferentialTest, SameCacheBehaviourAsTraceEmitter) {
+  Em3dConfig cfg;
+  cfg.nodes = 2000;
+  cfg.arity = 16;
+  cfg.passes = 1;
+  Em3dWorkload model(cfg);
+  Em3dIr em3d = build_em3d_ir(model);
+  const InterpResult ir_run = interpret(em3d.program, em3d.memory);
+  const TraceBuffer emitter_trace = model.emit_trace();
+
+  // Identical structural counts where granularities agree.
+  const CacheGeometry l2(128 * 1024, 16, 64);
+  const TraceSummary ir_sum = summarize_trace(ir_run.trace, l2);
+  const TraceSummary em_sum = summarize_trace(emitter_trace, l2);
+  EXPECT_EQ(ir_sum.outer_iterations, em_sum.outer_iterations);
+  EXPECT_EQ(ir_sum.delinquent_accesses, em_sum.delinquent_accesses);
+  EXPECT_EQ(ir_sum.writes, em_sum.writes);
+  // Same data structures -> same cache-line footprint.
+  EXPECT_EQ(ir_sum.distinct_lines, em_sum.distinct_lines);
+  EXPECT_EQ(ir_sum.distinct_sets, em_sum.distinct_sets);
+
+  // And Set Affinity — the paper's quantity — must agree closely: the two
+  // encodings touch the same lines in the same iteration order.
+  const WorkloadSaResult ir_sa =
+      analyze_workload_sa(ir_run.trace, model.invocation_starts(), l2);
+  const WorkloadSaResult em_sa =
+      analyze_workload_sa(emitter_trace, model.invocation_starts(), l2);
+  ASSERT_TRUE(ir_sa.merged.any_saturated());
+  ASSERT_TRUE(em_sa.merged.any_saturated());
+  EXPECT_EQ(ir_sa.merged.min_sa(), em_sa.merged.min_sa());
+  EXPECT_EQ(ir_sa.merged.max_sa(), em_sa.merged.max_sa());
+}
+
+}  // namespace
+}  // namespace spf::ir

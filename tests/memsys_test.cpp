@@ -1,0 +1,94 @@
+// Unit tests for the memory controller timing model.
+#include <gtest/gtest.h>
+
+#include "spf/memsys/memory.hpp"
+
+namespace spf {
+namespace {
+
+MemoryConfig cfg(Cycle latency, Cycle interval) {
+  MemoryConfig c;
+  c.service_latency = latency;
+  c.issue_interval = interval;
+  return c;
+}
+
+TEST(MemoryControllerTest, UncontendedRequestPaysServiceLatency) {
+  MemoryController mem(cfg(300, 8));
+  EXPECT_EQ(mem.issue(1000, FillOrigin::kDemand), 1300u);
+  EXPECT_EQ(mem.stats().total_queue_delay, 0u);
+}
+
+TEST(MemoryControllerTest, BackToBackRequestsSerialize) {
+  MemoryController mem(cfg(300, 8));
+  EXPECT_EQ(mem.issue(0, FillOrigin::kDemand), 300u);
+  // Second request at the same instant starts 8 cycles later.
+  EXPECT_EQ(mem.issue(0, FillOrigin::kDemand), 308u);
+  EXPECT_EQ(mem.issue(0, FillOrigin::kDemand), 316u);
+  EXPECT_EQ(mem.stats().total_queue_delay, 8u + 16u);
+}
+
+TEST(MemoryControllerTest, IdleChannelDoesNotDelayLateRequest) {
+  MemoryController mem(cfg(100, 8));
+  mem.issue(0, FillOrigin::kDemand);
+  // A request long after the channel freed starts immediately.
+  EXPECT_EQ(mem.issue(5000, FillOrigin::kDemand), 5100u);
+}
+
+TEST(MemoryControllerTest, PerOriginAccounting) {
+  MemoryController mem(cfg(100, 4));
+  mem.issue(0, FillOrigin::kDemand);
+  mem.issue(0, FillOrigin::kHelper);
+  mem.issue(0, FillOrigin::kHelper);
+  mem.issue(0, FillOrigin::kHardware);
+  const auto& s = mem.stats();
+  EXPECT_EQ(s.requests, 4u);
+  EXPECT_EQ(s.requests_by_origin[static_cast<int>(FillOrigin::kDemand)], 1u);
+  EXPECT_EQ(s.requests_by_origin[static_cast<int>(FillOrigin::kHelper)], 2u);
+  EXPECT_EQ(s.requests_by_origin[static_cast<int>(FillOrigin::kHardware)], 1u);
+}
+
+TEST(MemoryControllerTest, BusyCyclesAndMeanDelay) {
+  MemoryController mem(cfg(100, 10));
+  mem.issue(0, FillOrigin::kDemand);
+  mem.issue(0, FillOrigin::kDemand);  // waits 10
+  EXPECT_EQ(mem.stats().busy_cycles, 20u);
+  EXPECT_DOUBLE_EQ(mem.stats().mean_queue_delay(), 5.0);
+}
+
+TEST(MemoryControllerTest, CompletionMonotoneInIssueOrder) {
+  MemoryController mem(cfg(200, 6));
+  Cycle prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Cycle done = mem.issue(static_cast<Cycle>(i), FillOrigin::kDemand);
+    EXPECT_GE(done, prev);
+    prev = done;
+  }
+}
+
+TEST(MemoryControllerTest, WritebackOccupiesChannelSlot) {
+  MemoryController mem(cfg(100, 10));
+  mem.writeback(0);
+  EXPECT_EQ(mem.stats().writebacks, 1u);
+  EXPECT_EQ(mem.stats().requests, 0u);  // writebacks are not fill requests
+  // The next fill waits behind the writeback's slot.
+  EXPECT_EQ(mem.issue(0, FillOrigin::kDemand), 110u);
+}
+
+TEST(MemoryControllerTest, WritebackAfterIdleDoesNotStackDelay) {
+  MemoryController mem(cfg(100, 10));
+  mem.writeback(1000);
+  EXPECT_EQ(mem.issue(2000, FillOrigin::kDemand), 2100u);
+}
+
+TEST(MemoryControllerTest, ResetStatsKeepsChannelState) {
+  MemoryController mem(cfg(100, 10));
+  mem.issue(0, FillOrigin::kDemand);
+  mem.reset_stats();
+  EXPECT_EQ(mem.stats().requests, 0u);
+  // Channel is still busy from the pre-reset request.
+  EXPECT_EQ(mem.issue(0, FillOrigin::kDemand), 110u);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,127 @@
+// Unit tests for access-pattern classification and the synthetic workload.
+#include <gtest/gtest.h>
+
+#include "spf/common/rng.hpp"
+#include "spf/profile/pattern.hpp"
+#include "spf/workloads/synthetic.hpp"
+
+namespace spf {
+namespace {
+
+TEST(PatternTest, SequentialSiteClassified) {
+  TraceBuffer t;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    t.emit(static_cast<Addr>(i) * 64, i, AccessKind::kRead, 1);
+  }
+  const PatternReport r = classify_patterns(t);
+  ASSERT_EQ(r.per_site.size(), 1u);
+  EXPECT_EQ(r.per_site.at(1).pattern, AccessPattern::kSequential);
+  EXPECT_EQ(r.per_site.at(1).dominant_delta, 64);
+  EXPECT_GT(r.per_site.at(1).regularity, 0.99);
+  EXPECT_DOUBLE_EQ(r.sequential_fraction, 1.0);
+}
+
+TEST(PatternTest, StridedSiteClassified) {
+  TraceBuffer t;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    t.emit(static_cast<Addr>(i) * 4096, i, AccessKind::kRead, 2);
+  }
+  const PatternReport r = classify_patterns(t);
+  EXPECT_EQ(r.per_site.at(2).pattern, AccessPattern::kStrided);
+  EXPECT_EQ(r.per_site.at(2).dominant_delta, 4096);
+  EXPECT_DOUBLE_EQ(r.strided_fraction, 1.0);
+}
+
+TEST(PatternTest, NegativeStrideIsStrided) {
+  TraceBuffer down;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    down.emit((1 << 24) - static_cast<Addr>(i) * 512, i, AccessKind::kRead, 3);
+  }
+  const PatternReport r = classify_patterns(down);
+  EXPECT_EQ(r.per_site.at(3).pattern, AccessPattern::kStrided);
+  EXPECT_EQ(r.per_site.at(3).dominant_delta, -512);
+}
+
+TEST(PatternTest, RandomSiteIsIrregular) {
+  TraceBuffer t;
+  Xoshiro256 rng(1);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    t.emit(rng.below(1u << 28), i, AccessKind::kRead, 4);
+  }
+  const PatternReport r = classify_patterns(t);
+  EXPECT_EQ(r.per_site.at(4).pattern, AccessPattern::kIrregular);
+  EXPECT_LT(r.per_site.at(4).regularity, 0.1);
+  EXPECT_DOUBLE_EQ(r.irregular_fraction, 1.0);
+}
+
+TEST(PatternTest, MixedStreamFractionsSum) {
+  TraceBuffer t;
+  Xoshiro256 rng(2);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    t.emit(static_cast<Addr>(i) * 64, i, AccessKind::kRead, 1);  // seq
+    t.emit(rng.below(1u << 28), i, AccessKind::kRead, 4);        // irregular
+  }
+  const PatternReport r = classify_patterns(t);
+  EXPECT_NEAR(r.sequential_fraction + r.strided_fraction + r.irregular_fraction,
+              1.0, 1e-9);
+  EXPECT_NEAR(r.sequential_fraction, 0.5, 0.01);
+  EXPECT_NEAR(r.irregular_fraction, 0.5, 0.01);
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(PatternTest, EmptyTrace) {
+  const PatternReport r = classify_patterns(TraceBuffer{});
+  EXPECT_TRUE(r.per_site.empty());
+  EXPECT_DOUBLE_EQ(r.sequential_fraction, 0.0);
+}
+
+TEST(PatternTest, SingleAccessSiteHasNoDeltas) {
+  TraceBuffer t;
+  t.emit(100, 0, AccessKind::kRead, 7);
+  const PatternReport r = classify_patterns(t);
+  EXPECT_EQ(r.per_site.at(7).pattern, AccessPattern::kIrregular);
+  EXPECT_EQ(r.per_site.at(7).accesses, 1u);
+}
+
+TEST(SyntheticWorkloadTest, SiteClassesMatchConstruction) {
+  SyntheticConfig cfg;
+  cfg.iterations = 4000;
+  const SyntheticWorkload w(cfg);
+  const TraceBuffer t = w.emit_trace();
+  const PatternReport r = classify_patterns(t);
+  EXPECT_EQ(r.per_site.at(kSynSequential).pattern, AccessPattern::kSequential);
+  EXPECT_EQ(r.per_site.at(kSynStrided).pattern, AccessPattern::kStrided);
+  EXPECT_EQ(r.per_site.at(kSynRandom).pattern, AccessPattern::kIrregular);
+  // The shuffled spine is irregular too.
+  EXPECT_EQ(r.per_site.at(kSynSpine).pattern, AccessPattern::kIrregular);
+}
+
+TEST(SyntheticWorkloadTest, RecordCountMatchesConfig) {
+  SyntheticConfig cfg;
+  cfg.iterations = 100;
+  cfg.sequential_lines = 3;
+  cfg.strided_reads = 2;
+  cfg.random_reads = 5;
+  const SyntheticWorkload w(cfg);
+  const TraceBuffer t = w.emit_trace();
+  EXPECT_EQ(t.size(), 100u * (1 + 3 + 2 + 5));
+  EXPECT_EQ(t.outer_iterations(), 100u);
+}
+
+TEST(SyntheticWorkloadTest, OnlyRandomSiteIsDelinquent) {
+  const SyntheticWorkload w(SyntheticConfig{.iterations = 200});
+  for (const TraceRecord& r : w.emit_trace()) {
+    EXPECT_EQ(r.is_delinquent(), r.site == kSynRandom);
+    EXPECT_EQ(r.is_spine(), r.site == kSynSpine);
+  }
+}
+
+TEST(SyntheticWorkloadTest, Deterministic) {
+  const TraceBuffer a = SyntheticWorkload(SyntheticConfig{}).emit_trace();
+  const TraceBuffer b = SyntheticWorkload(SyntheticConfig{}).emit_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 257) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace spf

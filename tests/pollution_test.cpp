@@ -1,0 +1,135 @@
+// Unit tests for the pollution tracker: the paper's three cases.
+#include <gtest/gtest.h>
+
+#include "spf/sim/pollution.hpp"
+
+namespace spf {
+namespace {
+
+Eviction make_eviction(LineAddr victim_line, FillOrigin victim_origin,
+                       bool victim_used, FillOrigin evictor_origin) {
+  Eviction ev;
+  ev.victim.line = victim_line;
+  ev.victim.valid = true;
+  ev.victim.origin = victim_origin;
+  ev.victim.used_since_fill = victim_used;
+  ev.replaced_by = victim_line + 1000;
+  ev.replaced_by_origin = evictor_origin;
+  return ev;
+}
+
+TEST(PollutionTest, Case2HelperPrefetchDisplacedUnusedHelperFill) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  t.on_eviction(make_eviction(1, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  EXPECT_EQ(t.stats().case2_helper_displaced, 1u);
+  EXPECT_EQ(t.stats().total_pollution(), 1u);
+}
+
+TEST(PollutionTest, Case3PrefetchDisplacedUnusedHardwareFill) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  t.on_eviction(
+      make_eviction(2, FillOrigin::kHardware, false, FillOrigin::kHelper));
+  EXPECT_EQ(t.stats().case3_hw_displaced, 1u);
+}
+
+TEST(PollutionTest, Case1NeedsDemandReMiss) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  // Prefetch displaces used (useful) demand data.
+  t.on_eviction(make_eviction(3, FillOrigin::kDemand, true, FillOrigin::kHardware));
+  EXPECT_EQ(t.stats().case1_reuse_displaced, 0u);  // not yet: reuse unknown
+  EXPECT_TRUE(t.on_demand_miss(3));                // the processor came back
+  EXPECT_EQ(t.stats().case1_reuse_displaced, 1u);
+  // Counted once; a second miss is a plain capacity miss.
+  EXPECT_FALSE(t.on_demand_miss(3));
+  EXPECT_EQ(t.stats().case1_reuse_displaced, 1u);
+}
+
+TEST(PollutionTest, UsedPrefetchVictimGoesToShadowNotCase23) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  // A helper-prefetched line the processor already consumed is useful data.
+  t.on_eviction(make_eviction(4, FillOrigin::kHelper, true, FillOrigin::kHelper));
+  EXPECT_EQ(t.stats().case2_helper_displaced, 0u);
+  EXPECT_TRUE(t.on_demand_miss(4));
+  EXPECT_EQ(t.stats().case1_reuse_displaced, 1u);
+}
+
+TEST(PollutionTest, DemandEvictionIsNotPollution) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  t.on_eviction(make_eviction(5, FillOrigin::kDemand, true, FillOrigin::kDemand));
+  EXPECT_EQ(t.stats().total_pollution(), 0u);
+  EXPECT_EQ(t.stats().prefetch_caused_evictions, 0u);
+  EXPECT_EQ(t.stats().total_evictions, 1u);
+  // And its victim must not be attributed to a prefetch later.
+  EXPECT_FALSE(t.on_demand_miss(5));
+}
+
+TEST(PollutionTest, DemandEvictionClearsStaleShadow) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  // Prefetch displaces line 6 -> shadowed.
+  t.on_eviction(make_eviction(6, FillOrigin::kDemand, true, FillOrigin::kHelper));
+  // Later the same line is re-fetched and displaced again, this time by a
+  // demand fill: the shadow must be cleared, else the eventual re-miss is
+  // misattributed to the old prefetch.
+  t.on_eviction(make_eviction(6, FillOrigin::kDemand, true, FillOrigin::kDemand));
+  EXPECT_FALSE(t.on_demand_miss(6));
+}
+
+TEST(PollutionTest, ShadowCapacityBoundsMemory) {
+  PollutionTracker t(4, CacheGeometry(1024, 2, 64));
+  for (LineAddr l = 0; l < 100; ++l) {
+    t.on_eviction(make_eviction(l, FillOrigin::kDemand, true, FillOrigin::kHelper));
+  }
+  EXPECT_LE(t.shadow_size(), 4u);
+  // Oldest entries fell out of the window.
+  EXPECT_FALSE(t.on_demand_miss(0));
+  // Newest are still tracked.
+  EXPECT_TRUE(t.on_demand_miss(99));
+}
+
+TEST(PollutionTest, MixedSequenceCountsEachCaseOnce) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  t.on_eviction(make_eviction(10, FillOrigin::kHelper, false, FillOrigin::kHardware));
+  t.on_eviction(make_eviction(11, FillOrigin::kHardware, false, FillOrigin::kHelper));
+  t.on_eviction(make_eviction(12, FillOrigin::kDemand, true, FillOrigin::kHelper));
+  t.on_demand_miss(12);
+  const PollutionStats& s = t.stats();
+  EXPECT_EQ(s.case1_reuse_displaced, 1u);
+  EXPECT_EQ(s.case2_helper_displaced, 1u);
+  EXPECT_EQ(s.case3_hw_displaced, 1u);
+  EXPECT_EQ(s.total_pollution(), 3u);
+  EXPECT_EQ(s.prefetch_caused_evictions, 3u);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(PollutionTest, PerSetAttribution) {
+  // Geometry 1024B / 2-way / 64B -> 8 sets; line l maps to set l % 8.
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  // Two case-2 events in set 1 (lines 1 and 9), one case-3 in set 2.
+  t.on_eviction(make_eviction(1, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  t.on_eviction(make_eviction(9, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  t.on_eviction(
+      make_eviction(2, FillOrigin::kHardware, false, FillOrigin::kHelper));
+  // One case-1 event in set 3.
+  t.on_eviction(make_eviction(3, FillOrigin::kDemand, true, FillOrigin::kHelper));
+  t.on_demand_miss(3);
+
+  EXPECT_EQ(t.set_pollution(1), 2u);
+  EXPECT_EQ(t.set_pollution(2), 1u);
+  EXPECT_EQ(t.set_pollution(3), 1u);
+  EXPECT_EQ(t.set_pollution(0), 0u);
+  EXPECT_EQ(t.polluted_set_count(), 3u);
+  const auto top = t.top_polluted_sets(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[0].second, 2u);
+}
+
+TEST(PollutionTest, TopPollutedSetsHandlesFewerThanRequested) {
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  EXPECT_TRUE(t.top_polluted_sets(5).empty());
+  t.on_eviction(make_eviction(4, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  EXPECT_EQ(t.top_polluted_sets(5).size(), 1u);
+}
+
+}  // namespace
+}  // namespace spf

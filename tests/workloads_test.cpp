@@ -1,0 +1,346 @@
+// Unit tests for the workload models: EM3D, MCF-lite, MST — structure
+// invariants, trace shape, determinism, and the native EM3D kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "spf/trace/trace_stats.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/em3d_native.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+#include "spf/workloads/vheap.hpp"
+
+namespace spf {
+namespace {
+
+Em3dConfig small_em3d() {
+  Em3dConfig c;
+  c.nodes = 200;
+  c.arity = 8;
+  c.passes = 2;
+  return c;
+}
+
+TEST(VirtualHeapTest, BumpAllocationWithAlignment) {
+  VirtualHeap heap(0x1000);
+  const Addr a = heap.allocate(10, 8);
+  const Addr b = heap.allocate(10, 64);
+  EXPECT_EQ(a, 0x1000u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_GE(heap.used(), 20u);
+}
+
+TEST(VirtualHeapTest, RegionsNeverOverlap) {
+  VirtualHeap heap;
+  Addr prev_end = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const Addr start = heap.allocate(static_cast<std::uint64_t>(i) * 3, 16);
+    EXPECT_GE(start, prev_end);
+    prev_end = start + static_cast<std::uint64_t>(i) * 3;
+  }
+}
+
+TEST(Em3dTest, BipartiteDependencies) {
+  Em3dWorkload w(small_em3d());
+  const std::uint32_t half = w.config().nodes / 2;
+  for (std::uint32_t i = 0; i < w.config().nodes; ++i) {
+    const std::uint32_t* deps = w.targets_of(i);
+    for (std::uint32_t j = 0; j < w.config().arity; ++j) {
+      if (i < half) {
+        EXPECT_GE(deps[j], half) << "E node depends on E node";
+      } else {
+        EXPECT_LT(deps[j], half) << "H node depends on H node";
+      }
+    }
+  }
+}
+
+TEST(Em3dTest, NodeAddressesAreDistinctLines) {
+  Em3dWorkload w(small_em3d());
+  std::set<Addr> addrs;
+  for (std::uint32_t i = 0; i < w.config().nodes; ++i) {
+    EXPECT_EQ(w.node_addr(i) % 64, 0u);
+    addrs.insert(w.node_addr(i));
+  }
+  EXPECT_EQ(addrs.size(), w.config().nodes);
+}
+
+TEST(Em3dTest, TraceShapePerIteration) {
+  Em3dConfig cfg = small_em3d();
+  cfg.passes = 1;
+  Em3dWorkload w(cfg);
+  const TraceBuffer t = w.emit_trace();
+  // Per iteration: 1 spine + arity delinquent + ptr/coeff line touches + 1
+  // write. arity=8 -> 1 ptr line + 1 coeff line.
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(cfg.nodes) * (1 + 1 + 1 + 8 + 1));
+  EXPECT_EQ(t.outer_iterations(), cfg.nodes);
+
+  const TraceSummary s = summarize_trace(t, CacheGeometry::core2_l2());
+  EXPECT_EQ(s.spine_accesses, cfg.nodes);
+  EXPECT_EQ(s.delinquent_accesses, static_cast<std::uint64_t>(cfg.nodes) * 8);
+  EXPECT_EQ(s.writes, cfg.nodes);
+}
+
+TEST(Em3dTest, EveryIterationStartsWithSpine) {
+  Em3dWorkload w(small_em3d());
+  const TraceBuffer t = w.emit_trace();
+  std::uint32_t prev_iter = ~0u;
+  for (const TraceRecord& r : t) {
+    if (r.outer_iter != prev_iter) {
+      EXPECT_TRUE(r.is_spine());
+      EXPECT_EQ(r.site, kEm3dNode);
+      prev_iter = r.outer_iter;
+    }
+  }
+}
+
+TEST(Em3dTest, DeterministicAcrossConstructions) {
+  Em3dWorkload a(small_em3d());
+  Em3dWorkload b(small_em3d());
+  const TraceBuffer ta = a.emit_trace();
+  const TraceBuffer tb = b.emit_trace();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); i += 97) {
+    EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(Em3dTest, SeedChangesTopology) {
+  Em3dConfig c1 = small_em3d();
+  Em3dConfig c2 = small_em3d();
+  c2.seed = 777;
+  const TraceBuffer t1 = Em3dWorkload(c1).emit_trace();
+  const TraceBuffer t2 = Em3dWorkload(c2).emit_trace();
+  bool differs = false;
+  for (std::size_t i = 0; i < t1.size() && !differs; ++i) {
+    differs = !(t1[i] == t2[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Em3dTest, InvocationStartsPerPass) {
+  Em3dWorkload w(small_em3d());
+  const auto starts = w.invocation_starts();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 200u);
+}
+
+TEST(Em3dTest, ShufflePlacementScattersNeighbors) {
+  Em3dConfig shuffled = small_em3d();
+  Em3dConfig linear = small_em3d();
+  linear.shuffle_placement = false;
+  Em3dWorkload ws(shuffled);
+  Em3dWorkload wl(linear);
+  // Linear placement: consecutive list nodes are memory-adjacent.
+  EXPECT_EQ(wl.node_addr(1) - wl.node_addr(0), 64u);
+  // Shuffled placement: overwhelmingly not.
+  std::uint32_t adjacent = 0;
+  for (std::uint32_t i = 1; i < 200; ++i) {
+    if (ws.node_addr(i) > ws.node_addr(i - 1) &&
+        ws.node_addr(i) - ws.node_addr(i - 1) == 64) {
+      ++adjacent;
+    }
+  }
+  EXPECT_LT(adjacent, 20u);
+}
+
+TEST(Em3dNativeTest, ComputeMatchesTopology) {
+  Em3dWorkload model(small_em3d());
+  Em3dGraph graph(model);
+  EXPECT_EQ(graph.node_count(), 200u);
+  // The list must chain all nodes.
+  std::uint32_t chained = 0;
+  for (Em3dNode* n = graph.head(); n != nullptr; n = n->next) ++chained;
+  EXPECT_EQ(chained, 200u);
+  const double before = graph.checksum();
+  const double result = graph.compute_pass();
+  EXPECT_NE(before, graph.checksum());
+  EXPECT_TRUE(std::isfinite(result));
+}
+
+TEST(Em3dNativeTest, ComputeIsDeterministic) {
+  Em3dWorkload model(small_em3d());
+  Em3dGraph a(model);
+  Em3dGraph b(model);
+  EXPECT_DOUBLE_EQ(a.compute_pass(), b.compute_pass());
+  EXPECT_DOUBLE_EQ(a.compute_pass(), b.compute_pass());
+}
+
+TEST(Em3dNativeTest, HelperPassCountsPrefetches) {
+  Em3dWorkload model(small_em3d());
+  Em3dGraph graph(model);
+  // RP=0.5, round 20: helper prefetches deps of half the nodes.
+  const std::uint64_t prefetches = graph.helper_pass(10, 10);
+  EXPECT_EQ(prefetches, 100u * 8u);
+  // RP=1: all nodes.
+  EXPECT_EQ(graph.helper_pass(0, 10), 200u * 8u);
+}
+
+TEST(Em3dNativeTest, HelperPassDoesNotMutateValues) {
+  Em3dWorkload model(small_em3d());
+  Em3dGraph graph(model);
+  const double before = graph.checksum();
+  graph.helper_pass(5, 5);
+  EXPECT_DOUBLE_EQ(graph.checksum(), before);
+}
+
+McfConfig small_mcf() {
+  McfConfig c;
+  c.nodes = 500;
+  c.arcs = 3000;
+  c.passes = 2;
+  return c;
+}
+
+TEST(McfTest, ArcScanIsSequential) {
+  McfWorkload w(small_mcf());
+  const TraceBuffer t = w.emit_trace();
+  Addr prev_arc = 0;
+  bool first = true;
+  for (const TraceRecord& r : t) {
+    if (r.site != kMcfArc) continue;
+    if (r.outer_iter >= w.config().arcs) break;  // pass 2 restarts
+    if (!first) {
+      EXPECT_EQ(r.addr, prev_arc + 64);
+    }
+    prev_arc = r.addr;
+    first = false;
+  }
+}
+
+TEST(McfTest, PotentialReadsAreDelinquentAndIrregular) {
+  McfWorkload w(small_mcf());
+  const TraceBuffer t = w.emit_trace();
+  std::unordered_set<Addr> potential_addrs;
+  for (const TraceRecord& r : t) {
+    if (r.site == kMcfTailPotential || r.site == kMcfHeadPotential) {
+      EXPECT_TRUE(r.is_delinquent());
+      potential_addrs.insert(r.addr);
+    }
+  }
+  // Many distinct node lines are touched.
+  EXPECT_GT(potential_addrs.size(), 200u);
+}
+
+TEST(McfTest, NoSpineRecords) {
+  // Array scans need no pointer-chased spine: the helper skips for free.
+  McfWorkload w(small_mcf());
+  const TraceBuffer t = w.emit_trace();
+  const TraceSummary s = summarize_trace(t, CacheGeometry::core2_l2());
+  EXPECT_EQ(s.spine_accesses, 0u);
+}
+
+TEST(McfTest, PivotWritesBetweenPasses) {
+  McfWorkload w(small_mcf());
+  const TraceBuffer t = w.emit_trace();
+  std::uint64_t pivot_writes = 0;
+  for (const TraceRecord& r : t) {
+    if (r.site == kMcfPivot) {
+      EXPECT_EQ(r.kind(), AccessKind::kWrite);
+      ++pivot_writes;
+    }
+  }
+  EXPECT_EQ(pivot_writes,
+            static_cast<std::uint64_t>(w.config().pivots_per_pass) * 2);
+}
+
+TEST(McfTest, InvocationStartsPerPass) {
+  McfWorkload w(small_mcf());
+  const auto starts = w.invocation_starts();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1], 3000u);
+  EXPECT_EQ(w.outer_iterations(), 6000u);
+}
+
+TEST(McfTest, Deterministic) {
+  const TraceBuffer a = McfWorkload(small_mcf()).emit_trace();
+  const TraceBuffer b = McfWorkload(small_mcf()).emit_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 131) EXPECT_EQ(a[i], b[i]);
+}
+
+MstConfig small_mst() {
+  MstConfig c;
+  c.vertices = 120;
+  c.degree = 16;
+  c.buckets = 32;
+  return c;
+}
+
+TEST(MstTest, IterationAccountingMatchesShrinkingScans) {
+  MstWorkload w(small_mst());
+  // Full Prim: steps v-1, scans of v-1, v-2, ... 1 iterations.
+  const std::uint64_t expected = 119ull * 120ull / 2ull;
+  EXPECT_EQ(w.outer_iterations(), expected);
+  EXPECT_EQ(w.invocation_starts().size(), 119u);
+  const TraceBuffer t = w.emit_trace();
+  EXPECT_EQ(t.outer_iterations(), expected);
+}
+
+TEST(MstTest, EveryIterationHasSpineAndBucket) {
+  MstWorkload w(small_mst());
+  const TraceBuffer t = w.emit_trace();
+  std::uint32_t iters_seen = 0;
+  std::uint32_t prev = ~0u;
+  bool saw_bucket = true;
+  for (const TraceRecord& r : t) {
+    if (r.outer_iter != prev) {
+      EXPECT_TRUE(saw_bucket) << "iteration " << prev << " had no bucket read";
+      EXPECT_TRUE(r.is_spine());
+      EXPECT_EQ(r.site, kMstVertex);
+      prev = r.outer_iter;
+      ++iters_seen;
+      saw_bucket = false;
+    }
+    if (r.site == kMstBucket) saw_bucket = true;
+  }
+  EXPECT_EQ(iters_seen, w.outer_iterations());
+}
+
+TEST(MstTest, ChainWalkStopsAtMatch) {
+  // Chain reads per iteration are bounded by the bucket's chain length
+  // (degree/buckets on average); just check they are small and delinquent.
+  MstWorkload w(small_mst());
+  const TraceBuffer t = w.emit_trace();
+  std::uint64_t chain_reads = 0;
+  std::uint64_t iters = w.outer_iterations();
+  for (const TraceRecord& r : t) {
+    if (r.site == kMstHashEntry) {
+      EXPECT_TRUE(r.is_delinquent());
+      ++chain_reads;
+    }
+  }
+  // Average chain walk should be well under 4 entries with degree 16 over 32
+  // buckets.
+  EXPECT_LT(chain_reads, iters * 4);
+}
+
+TEST(MstTest, MaxStepsCapsWork) {
+  MstConfig c = small_mst();
+  c.max_steps = 5;
+  MstWorkload w(c);
+  EXPECT_EQ(w.invocation_starts().size(), 5u);
+  EXPECT_EQ(w.outer_iterations(), 119u + 118u + 117u + 116u + 115u);
+}
+
+TEST(MstTest, Deterministic) {
+  const TraceBuffer a = MstWorkload(small_mst()).emit_trace();
+  const TraceBuffer b = MstWorkload(small_mst()).emit_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 101) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(PaperScaleConfigsTest, MatchTable2Inputs) {
+  EXPECT_EQ(Em3dConfig::paper_scale().nodes, 400000u);
+  EXPECT_EQ(Em3dConfig::paper_scale().arity, 128u);
+  EXPECT_EQ(MstConfig::paper_scale().vertices, 10000u);
+  EXPECT_GT(McfConfig::paper_scale().arcs, 100000u);
+}
+
+}  // namespace
+}  // namespace spf
