@@ -4,6 +4,10 @@
 // should grow roughly linearly with ways (more slack per set) and with the
 // set count (footprint spread thinner). This validates that the profiler
 // measures a structural property, not an artifact of one geometry.
+//
+// The per-geometry analyses are independent, so they fan out over
+// spf::orchestrate (--threads); rows aggregate in geometry order.
+#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,35 +25,53 @@ int main(int argc, char** argv) {
 
   std::cout << "== Ablation: Set Affinity bound vs L2 geometry (EM3D) ==\n\n";
 
-  Table t({"L2", "sets", "ways", "min SA", "max SA", "median SA",
-           "distance bound"});
   struct Geo {
     std::uint64_t bytes;
     std::uint32_t ways;
   };
-  for (const Geo g : {Geo{512 << 10, 8}, Geo{512 << 10, 16}, Geo{1 << 20, 8},
-                      Geo{1 << 20, 16}, Geo{1 << 20, 32}, Geo{2 << 20, 16},
-                      Geo{4 << 20, 16}}) {
-    const CacheGeometry l2(g.bytes, g.ways, 64);
-    const WorkloadSaResult sa = analyze_workload_sa(trace, inv, l2);
-    if (!sa.merged.any_saturated()) {
-      t.row().add(l2.to_string()).add(l2.num_sets()).add(
-          static_cast<std::uint64_t>(g.ways));
+  constexpr std::array<Geo, 7> kGeos{
+      Geo{512 << 10, 8},  Geo{512 << 10, 16}, Geo{1 << 20, 8},
+      Geo{1 << 20, 16},   Geo{1 << 20, 32},   Geo{2 << 20, 16},
+      Geo{4 << 20, 16}};
+
+  struct GeoResult {
+    WorkloadSaResult sa;
+    DistanceBound bound;
+    bool saturated = false;
+  };
+  std::vector<GeoResult> results(kGeos.size());
+  const auto outcomes = orchestrate::run_indexed(
+      kGeos.size(), scale.threads,
+      [&](std::size_t i) {
+        const CacheGeometry l2(kGeos[i].bytes, kGeos[i].ways, 64);
+        GeoResult& r = results[i];
+        r.sa = analyze_workload_sa(trace, inv, l2);
+        r.saturated = r.sa.merged.any_saturated();
+        if (r.saturated) r.bound = estimate_distance_bound(trace, inv, l2);
+      },
+      orchestrate::stderr_progress("  geometries"));
+  const std::string error = orchestrate::first_error(outcomes);
+  if (!error.empty()) {
+    std::cerr << "geometry analysis failed: " << error << "\n";
+    return 1;
+  }
+
+  Table t({"L2", "sets", "ways", "min SA", "max SA", "median SA",
+           "distance bound"});
+  for (std::size_t i = 0; i < kGeos.size(); ++i) {
+    const CacheGeometry l2(kGeos[i].bytes, kGeos[i].ways, 64);
+    const GeoResult& r = results[i];
+    t.row().add(l2.to_string()).add(l2.num_sets()).add(
+        static_cast<std::uint64_t>(kGeos[i].ways));
+    if (!r.saturated) {
       t.add("-").add("-").add("-").add("unbounded (fits)");
       continue;
     }
-    const DistanceBound bound = estimate_distance_bound(trace, inv, l2);
-    t.row()
-        .add(l2.to_string())
-        .add(l2.num_sets())
-        .add(static_cast<std::uint64_t>(g.ways))
-        .add(static_cast<std::uint64_t>(sa.merged.min_sa()))
-        .add(static_cast<std::uint64_t>(sa.merged.max_sa()))
-        .add(sa.merged.quantile(0.5), 0)
-        .add(static_cast<std::uint64_t>(bound.upper_limit));
-    std::cerr << ".";
+    t.add(static_cast<std::uint64_t>(r.sa.merged.min_sa()))
+        .add(static_cast<std::uint64_t>(r.sa.merged.max_sa()))
+        .add(r.sa.merged.quantile(0.5), 0)
+        .add(static_cast<std::uint64_t>(r.bound.upper_limit));
   }
-  std::cerr << "\n";
   bench::emit(t, scale);
 
   std::cout << "\nShape check: the bound grows with associativity at fixed "

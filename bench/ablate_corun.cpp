@@ -2,13 +2,17 @@
 // threaded prefetching "may lead to increased stress on limited shared cache
 // space and bus bandwidth").
 //
-// Four machines, all sharing one L2 and one memory channel:
-//   (a) EM3D alone;
-//   (b) EM3D + MCF co-running (no helpers) — plain multiprogramming;
-//   (c) EM3D + MCF, EM3D gets a within-bound SP helper;
-//   (d) same but the helper runs far beyond the bound.
+// Five machines, all sharing one L2 and one memory channel:
+//   (a) EM3D alone;           (b) MCF alone;
+//   (c) EM3D + MCF co-running (no helpers) — plain multiprogramming;
+//   (d) EM3D + MCF, EM3D gets a within-bound SP helper;
+//   (e) same but the helper runs far beyond the bound.
 // Reported per workload: normalized runtime vs running alone. The polluting
 // helper must hurt not only EM3D but also the innocent co-runner.
+//
+// All five simulations are independent, so they fan out over
+// spf::orchestrate (--threads); rows aggregate in machine order.
+#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -32,24 +36,58 @@ int main(int argc, char** argv) {
 
   const DistanceBound bound = estimate_distance_bound(
       em3d_trace, em3d.invocation_starts(), scale.l2);
+  const std::uint32_t within = std::max(1u, bound.upper_limit / 2);
+  const std::uint32_t beyond = bound.upper_limit * 8;
 
   SimConfig sim;
   sim.l2 = scale.l2;
-
-  auto run = [&](const std::vector<CoreStream>& streams) {
-    CmpSimulator simulator(sim);
-    return simulator.run(streams);
-  };
 
   std::cout << "== Ablation: co-run interference (EM3D + MCF sharing L2) ==\n"
             << "L2 " << scale.l2.to_string() << ", EM3D " << bound.to_string()
             << "\n\n";
 
-  // Solo baselines.
-  const SimResult em3d_solo = run({CoreStream{.trace = &em3d_trace}});
-  std::cerr << ".";
-  const SimResult mcf_solo = run({CoreStream{.trace = &mcf_trace}});
-  std::cerr << ".";
+  // Machines by slot: 0 = EM3D solo, 1 = MCF solo, 2 = plain co-run,
+  // 3 = co-run + within-bound helper, 4 = co-run + beyond-bound helper.
+  std::vector<SimResult> machines(5);
+  const auto outcomes = orchestrate::run_indexed(
+      machines.size(), scale.threads,
+      [&](std::size_t i) {
+        CmpSimulator simulator(sim);
+        switch (i) {
+          case 0:
+            machines[i] = simulator.run({CoreStream{.trace = &em3d_trace}});
+            return;
+          case 1:
+            machines[i] = simulator.run({CoreStream{.trace = &mcf_trace}});
+            return;
+          case 2:
+            machines[i] = simulator.run({CoreStream{.trace = &em3d_trace},
+                                         CoreStream{.trace = &mcf_trace}});
+            return;
+          default: {
+            const SpParams params = SpParams::from_distance_rp(
+                i == 3 ? within : beyond, 0.5);
+            const TraceBuffer helper = make_helper_trace(em3d_trace, params);
+            machines[i] = simulator.run({
+                CoreStream{.trace = &em3d_trace},
+                CoreStream{.trace = &mcf_trace},
+                CoreStream{.trace = &helper,
+                           .origin = FillOrigin::kHelper,
+                           .sync = RoundSync{.leader = 0,
+                                             .round_iters = params.round()}},
+            });
+          }
+        }
+      },
+      orchestrate::stderr_progress("  machines"));
+  const std::string error = orchestrate::first_error(outcomes);
+  if (!error.empty()) {
+    std::cerr << "co-run simulation failed: " << error << "\n";
+    return 1;
+  }
+
+  const SimResult& em3d_solo = machines[0];
+  const SimResult& mcf_solo = machines[1];
 
   Table t({"machine", "EM3D norm runtime", "MCF norm runtime",
            "L2 evictions", "pollution events"});
@@ -67,30 +105,13 @@ int main(int argc, char** argv) {
         .add(r.pollution.total_pollution());
   };
 
-  const SimResult corun = run({
-      CoreStream{.trace = &em3d_trace},
-      CoreStream{.trace = &mcf_trace},
-  });
-  std::cerr << ".";
-  add_row("co-run, no helper", corun, 1);
-
-  for (std::uint32_t distance :
-       {std::max(1u, bound.upper_limit / 2), bound.upper_limit * 8}) {
-    const SpParams params = SpParams::from_distance_rp(distance, 0.5);
-    const TraceBuffer helper = make_helper_trace(em3d_trace, params);
-    const SimResult r = run({
-        CoreStream{.trace = &em3d_trace},
-        CoreStream{.trace = &mcf_trace},
-        CoreStream{.trace = &helper,
-                   .origin = FillOrigin::kHelper,
-                   .sync = RoundSync{.leader = 0, .round_iters = params.round()}},
-    });
-    std::cerr << ".";
-    add_row("co-run + SP helper, distance " + std::to_string(distance) +
-                (bound.allows(distance) ? " (within)" : " (beyond)"),
-            r, 1);
-  }
-  std::cerr << "\n";
+  add_row("co-run, no helper", machines[2], 1);
+  add_row("co-run + SP helper, distance " + std::to_string(within) +
+              (bound.allows(within) ? " (within)" : " (beyond)"),
+          machines[3], 1);
+  add_row("co-run + SP helper, distance " + std::to_string(beyond) +
+              (bound.allows(beyond) ? " (within)" : " (beyond)"),
+          machines[4], 1);
   bench::emit(t, scale);
 
   std::cout << "\nShape check: the within-bound helper buys EM3D a large "

@@ -8,9 +8,13 @@
 // to keep up — but a prefetch for a pointer it has not loaded yet is
 // impossible, so only the *leaf* dereferences can be converted (the
 // address-generation loads stay blocking).
+//
+// Runs as a declarative spf::orchestrate sweep: helpers × distances, one
+// shared baseline, cells fanned out over --threads workers.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "spf/orchestrate/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace spf;
@@ -19,37 +23,47 @@ int main(int argc, char** argv) {
   bench::fail_on_unknown_flags(flags);
 
   Em3dWorkload workload(bench::em3d_config(scale));
-  const TraceBuffer trace = workload.emit_trace();
-  const DistanceBound bound = estimate_distance_bound(
-      trace, workload.invocation_starts(), scale.l2);
+  orchestrate::TraceSource source{workload.emit_trace(),
+                                  workload.invocation_starts()};
+  const DistanceBound bound =
+      estimate_distance_bound(source.trace, source.invocation_starts, scale.l2);
 
   std::cout << "== Ablation: blocking-load vs prefetch-instruction helper "
                "(EM3D) ==\n"
             << "L2 " << scale.l2.to_string() << ", " << bound.to_string()
             << "\n\n";
 
+  orchestrate::SweepSpec spec;
+  spec.workloads.push_back(
+      orchestrate::from_source("em3d", std::move(source)));
+  spec.helpers = {orchestrate::HelperKind::kBlockingLoad,
+                  orchestrate::HelperKind::kPrefetchInstruction};
+  spec.distances = {std::max(1u, bound.upper_limit / 2), bound.upper_limit * 4};
+  spec.geometries = {scale.l2};
+
+  orchestrate::SweepOptions opts;
+  opts.threads = scale.threads;
+  opts.progress = orchestrate::stderr_progress("  cells");
+  const orchestrate::SweepResult result = orchestrate::run_sweep(spec, opts);
+
   Table t({"helper kind", "distance", "vs bound", "Normalized_Runtime",
            "dTotally_miss(%)", "helper finish (Mcycles)", "pollution"});
-  for (const bool use_prefetch : {false, true}) {
-    for (std::uint32_t d :
-         {std::max(1u, bound.upper_limit / 2), bound.upper_limit * 4}) {
-      SpExperimentConfig exp;
-      exp.sim.l2 = scale.l2;
-      exp.params = SpParams::from_distance_rp(d, 0.5);
-      exp.helper.use_prefetch_instructions = use_prefetch;
-      const SpComparison cmp = run_sp_experiment(trace, exp);
-      t.row()
-          .add(use_prefetch ? "prefetch-instruction" : "blocking-load (paper)")
-          .add(static_cast<std::uint64_t>(d))
-          .add(bound.allows(d) ? "within" : "beyond")
-          .add(cmp.norm_runtime(), 3)
-          .add(100.0 * cmp.delta_totally_miss(), 2)
-          .add(static_cast<double>(cmp.sp.helper_finish) / 1e6, 1)
-          .add(cmp.sp.pollution.total_pollution());
-      std::cerr << ".";
+  for (const auto& c : result.cells) {
+    if (!c.ok) {
+      std::cerr << "cell " << c.cell.id << " failed: " << c.error << "\n";
+      continue;
     }
+    t.row()
+        .add(c.cell.helper == orchestrate::HelperKind::kPrefetchInstruction
+                 ? "prefetch-instruction"
+                 : "blocking-load (paper)")
+        .add(static_cast<std::uint64_t>(c.cell.distance))
+        .add(bound.allows(c.cell.distance) ? "within" : "beyond")
+        .add(c.cmp.norm_runtime(), 3)
+        .add(100.0 * c.cmp.delta_totally_miss(), 2)
+        .add(static_cast<double>(c.cmp.sp.helper_finish) / 1e6, 1)
+        .add(c.cmp.sp.pollution.total_pollution());
   }
-  std::cerr << "\n";
   bench::emit(t, scale);
 
   std::cout << "\nShape check: the blocking-load helper wins at every "
@@ -59,5 +73,5 @@ int main(int argc, char** argv) {
                "still\npollute; beyond the bound the unthrottled variant is "
                "worse than no helper at\nall. The paper's choice of ordinary "
                "loads in the helper is not an accident.\n";
-  return 0;
+  return result.failed_count() == 0 ? 0 : 1;
 }

@@ -4,6 +4,11 @@
 // scaling the compute gap in the EM3D inner loop). The paper's rule predicts:
 // low CALR -> RP 0.5 wins (helper must skip half the loads to keep up);
 // CALR >= 1 -> RP 1 wins (helper has slack to prefetch everything).
+//
+// Orchestrated in two fan-out phases (spf::orchestrate): per-gap trace
+// emission + profiling + baseline, then one SP run per (gap, RP) cell.
+// Aggregation is slot-indexed, so the table is identical at any --threads.
+#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -20,44 +25,80 @@ int main(int argc, char** argv) {
   std::cout << "== Ablation: prefetch ratio vs CALR (EM3D variants) ==\n"
             << "L2 " << scale.l2.to_string() << "\n\n";
 
+  constexpr std::array<std::uint32_t, 4> kGaps{1u, 60u, 200u, 500u};
+  constexpr std::array<double, 4> kRps{0.25, 0.5, 0.75, 1.0};
+
+  struct GapPrep {
+    TraceBuffer trace;
+    CalrEstimate calr;
+    double rule_rp = 0.0;
+    std::uint32_t distance = 0;
+    SpRunSummary baseline;
+  };
+  std::vector<GapPrep> preps(kGaps.size());
+  auto outcomes = orchestrate::run_indexed(
+      kGaps.size(), scale.threads,
+      [&](std::size_t i) {
+        Em3dConfig cfg = base;
+        cfg.compute_cycles_per_dep = kGaps[i];
+        Em3dWorkload workload(cfg);
+        GapPrep& p = preps[i];
+        p.trace = workload.emit_trace();
+        CalrConfig cc;
+        cc.l2 = scale.l2;
+        p.calr = estimate_calr(p.trace, cc);
+        p.rule_rp = SpParams::rp_from_calr(p.calr.calr);
+        const DistanceBound bound = estimate_distance_bound(
+            p.trace, workload.invocation_starts(), scale.l2);
+        p.distance = std::max(1u, bound.upper_limit / 2);
+        SpExperimentConfig exp;
+        exp.sim.l2 = scale.l2;
+        p.baseline = run_original(p.trace, exp);
+      },
+      orchestrate::stderr_progress("  profile+baseline"));
+  std::string error = orchestrate::first_error(outcomes);
+  if (!error.empty()) {
+    std::cerr << "prep failed: " << error << "\n";
+    return 1;
+  }
+
+  std::vector<SpComparison> cells(kGaps.size() * kRps.size());
+  std::vector<SpParams> cell_params(cells.size());
+  outcomes = orchestrate::run_indexed(
+      cells.size(), scale.threads,
+      [&](std::size_t i) {
+        const GapPrep& p = preps[i / kRps.size()];
+        SpExperimentConfig exp;
+        exp.sim.l2 = scale.l2;
+        exp.params = SpParams::from_distance_rp(p.distance, kRps[i % kRps.size()]);
+        cell_params[i] = exp.params;
+        cells[i].original = p.baseline;
+        cells[i].sp = run_sp_once(p.trace, exp);
+      },
+      orchestrate::stderr_progress("  rp sweep"));
+  error = orchestrate::first_error(outcomes);
+  if (!error.empty()) {
+    std::cerr << "sweep failed: " << error << "\n";
+    return 1;
+  }
+
   Table t({"compute/dep (cycles)", "measured CALR", "rule RP", "RP", "A_SKI",
            "A_PRE", "Normalized_Runtime", "dTotally_miss(%)"});
-
-  for (std::uint32_t gap : {1u, 60u, 200u, 500u}) {
-    Em3dConfig cfg = base;
-    cfg.compute_cycles_per_dep = gap;
-    Em3dWorkload workload(cfg);
-    const TraceBuffer trace = workload.emit_trace();
-
-    CalrConfig cc;
-    cc.l2 = scale.l2;
-    const CalrEstimate calr = estimate_calr(trace, cc);
-    const double rule_rp = SpParams::rp_from_calr(calr.calr);
-    const DistanceBound bound = estimate_distance_bound(
-        trace, workload.invocation_starts(), scale.l2);
-    const std::uint32_t distance = std::max(1u, bound.upper_limit / 2);
-
-    SpExperimentConfig exp;
-    exp.sim.l2 = scale.l2;
-    const SpRunSummary baseline = run_original(trace, exp);
-    for (double rp : {0.25, 0.5, 0.75, 1.0}) {
-      exp.params = SpParams::from_distance_rp(distance, rp);
-      SpComparison cmp;
-      cmp.original = baseline;
-      cmp.sp = run_sp_once(trace, exp);
+  for (std::size_t g = 0; g < kGaps.size(); ++g) {
+    const GapPrep& p = preps[g];
+    for (std::size_t r = 0; r < kRps.size(); ++r) {
+      const std::size_t i = g * kRps.size() + r;
       t.row()
-          .add(static_cast<std::uint64_t>(gap))
-          .add(calr.calr, 3)
-          .add(rule_rp, 2)
-          .add(rp, 2)
-          .add(static_cast<std::uint64_t>(exp.params.a_ski))
-          .add(static_cast<std::uint64_t>(exp.params.a_pre))
-          .add(cmp.norm_runtime(), 3)
-          .add(100.0 * cmp.delta_totally_miss(), 2);
+          .add(static_cast<std::uint64_t>(kGaps[g]))
+          .add(p.calr.calr, 3)
+          .add(p.rule_rp, 2)
+          .add(kRps[r], 2)
+          .add(static_cast<std::uint64_t>(cell_params[i].a_ski))
+          .add(static_cast<std::uint64_t>(cell_params[i].a_pre))
+          .add(cells[i].norm_runtime(), 3)
+          .add(100.0 * cells[i].delta_totally_miss(), 2);
     }
-    std::cerr << ".";
   }
-  std::cerr << "\n";
   bench::emit(t, scale);
 
   std::cout << "\nShape check: at low CALR the best runtime sits near the "

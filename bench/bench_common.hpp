@@ -3,13 +3,18 @@
 // Every bench binary runs argument-free at a CI-friendly scale and accepts:
 //   --scale=paper      full-size inputs (paper Table II)
 //   --l2=<bytes>       shared L2 size (default 1 MiB at CI scale, 4 MiB at
-//                      paper scale — 16-way, 64 B lines either way)
+//                      paper scale)
+//   --assoc=<ways>     L2 associativity (default 16)
+//   --line=<bytes>     L2 line size (default 64)
+//   --threads=<n>      parallel sweep fan-out via spf::orchestrate
+//                      (default 0 = hardware concurrency; 1 = legacy serial)
 //   --csv              emit CSV instead of the aligned table
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +22,7 @@
 #include "spf/common/csv.hpp"
 #include "spf/core/distance_bound.hpp"
 #include "spf/core/experiment.hpp"
+#include "spf/orchestrate/pool.hpp"
 #include "spf/profile/calr.hpp"
 #include "spf/workloads/em3d.hpp"
 #include "spf/workloads/mcf.hpp"
@@ -28,6 +34,9 @@ struct Scale {
   bool paper = false;
   CacheGeometry l2 = CacheGeometry(1 << 20, 16, 64);
   bool csv = false;
+  /// Fan-out for orchestrated sweeps: 0 = hardware concurrency, 1 = the
+  /// legacy serial path (bit-identical output either way).
+  unsigned threads = 0;
 };
 
 inline Scale parse_scale(const CliFlags& flags) {
@@ -35,8 +44,11 @@ inline Scale parse_scale(const CliFlags& flags) {
   s.paper = flags.get("scale", "ci") == "paper";
   const auto l2_bytes = static_cast<std::uint64_t>(
       flags.get_int("l2", s.paper ? (4 << 20) : (1 << 20)));
-  s.l2 = CacheGeometry(l2_bytes, 16, 64);
+  const auto assoc = static_cast<std::uint32_t>(flags.get_int("assoc", 16));
+  const auto line = static_cast<std::uint32_t>(flags.get_int("line", 64));
+  s.l2 = CacheGeometry(l2_bytes, assoc, line);
   s.csv = flags.get_bool("csv", false);
+  s.threads = static_cast<unsigned>(flags.get_int("threads", 0));
   return s;
 }
 
@@ -93,24 +105,30 @@ struct SweepPoint {
   SpComparison cmp;
 };
 
-/// Runs one baseline and one SP run per distance (shared baseline).
+/// Runs one baseline and one SP run per distance (shared baseline). The SP
+/// runs fan out over scale.threads workers via spf::orchestrate; points come
+/// back in `distances` order regardless of completion order, so the emitted
+/// tables are byte-identical at any thread count. Throws std::runtime_error
+/// if any run fails.
 inline std::vector<SweepPoint> distance_sweep(
     const TraceBuffer& trace, const std::vector<std::uint32_t>& distances,
     const Scale& scale, double rp = 0.5) {
   SpExperimentConfig cfg;
   cfg.sim.l2 = scale.l2;
-  std::vector<SweepPoint> points;
   const SpRunSummary baseline = run_original(trace, cfg);
-  for (std::uint32_t d : distances) {
-    cfg.params = SpParams::from_distance_rp(d, rp);
-    SweepPoint p;
-    p.distance = d;
-    p.cmp.original = baseline;
-    p.cmp.sp = run_sp_once(trace, cfg);
-    points.push_back(p);
-    std::fprintf(stderr, ".");
-  }
-  std::fprintf(stderr, "\n");
+  std::vector<SweepPoint> points(distances.size());
+  const auto outcomes = orchestrate::run_indexed(
+      distances.size(), scale.threads,
+      [&](std::size_t i) {
+        SpExperimentConfig job_cfg = cfg;
+        job_cfg.params = SpParams::from_distance_rp(distances[i], rp);
+        points[i].distance = distances[i];
+        points[i].cmp.original = baseline;
+        points[i].cmp.sp = run_sp_once(trace, job_cfg);
+      },
+      orchestrate::stderr_progress("  sweep"));
+  const std::string error = orchestrate::first_error(outcomes);
+  if (!error.empty()) throw std::runtime_error("distance sweep: " + error);
   return points;
 }
 

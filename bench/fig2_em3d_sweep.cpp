@@ -4,6 +4,10 @@
 //
 // Paper shape: all three series rise together with growing distance; larger
 // distance introduces cache pollution and degrades EM3D's performance.
+//
+// The per-distance SP runs fan out over --threads workers through
+// spf::orchestrate (bench::distance_sweep); the emitted table is
+// byte-identical at any thread count.
 #include <iostream>
 
 #include "bench_common.hpp"

@@ -1,0 +1,122 @@
+// spf_sweep — declarative parallel sweep driver over the SP experiment grid.
+//
+// Runs a (workload × A_SKI × RP × L2 geometry × helper kind) sweep through
+// spf::orchestrate::run_sweep: every cell is one original-vs-SP comparison,
+// fanned out over a fixed-size thread pool with slot-indexed aggregation, so
+// the emitted table / CSV / JSONL artifacts are byte-identical at any
+// --threads value. See docs/orchestrator.md.
+//
+// Flags (all optional; argument-free = CI-scale EM3D auto-distance sweep):
+//   --workloads=em3d,mcf,mst   comma list (default em3d)
+//   --distances=1,2,4,8        explicit A_SKI list (default: auto ladder
+//                              around each plane's Set-Affinity bound)
+//   --rps=0.5,1.0              prefetch ratios (default 0.5)
+//   --geoms=1048576:16:64;...  semicolon list of bytes:ways:line geometries
+//                              (default: one geometry from --l2/--assoc/--line)
+//   --helpers=blocking,prefetch  helper kinds (default blocking)
+//   --jsonl=PATH               also write a JSONL artifact (- = stdout)
+//   --threads=N                0 = hardware concurrency, 1 = serial
+//   --scale=paper, --l2=, --assoc=, --line=, --csv   as in every bench binary
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/orchestrate/workload_specs.hpp"
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+
+  orchestrate::SweepSpec spec;
+  for (const auto& name : split(flags.get("workloads", "em3d"), ',')) {
+    if (name == "em3d") {
+      spec.workloads.push_back(orchestrate::em3d_spec(bench::em3d_config(scale)));
+    } else if (name == "mcf") {
+      spec.workloads.push_back(orchestrate::mcf_spec(bench::mcf_config(scale)));
+    } else if (name == "mst") {
+      spec.workloads.push_back(orchestrate::mst_spec(bench::mst_config(scale)));
+    } else {
+      std::cerr << "unknown workload '" << name << "' (em3d|mcf|mst)\n";
+      return 2;
+    }
+  }
+  for (const auto& d : split(flags.get("distances", ""), ',')) {
+    spec.distances.push_back(static_cast<std::uint32_t>(std::stoul(d)));
+  }
+  spec.rps.clear();
+  for (const auto& r : split(flags.get("rps", "0.5"), ',')) {
+    spec.rps.push_back(std::stod(r));
+  }
+  spec.helpers.clear();
+  for (const auto& h : split(flags.get("helpers", "blocking"), ',')) {
+    if (h == "blocking") {
+      spec.helpers.push_back(orchestrate::HelperKind::kBlockingLoad);
+    } else if (h == "prefetch") {
+      spec.helpers.push_back(orchestrate::HelperKind::kPrefetchInstruction);
+    } else {
+      std::cerr << "unknown helper kind '" << h << "' (blocking|prefetch)\n";
+      return 2;
+    }
+  }
+  spec.geometries.clear();
+  const std::string geoms = flags.get("geoms", "");
+  if (geoms.empty()) {
+    spec.geometries.push_back(scale.l2);
+  } else {
+    for (const auto& g : split(geoms, ';')) {
+      const auto parts = split(g, ':');
+      if (parts.size() != 3) {
+        std::cerr << "bad geometry '" << g << "' (want bytes:ways:line)\n";
+        return 2;
+      }
+      spec.geometries.emplace_back(std::stoull(parts[0]),
+                                   static_cast<std::uint32_t>(std::stoul(parts[1])),
+                                   static_cast<std::uint32_t>(std::stoul(parts[2])));
+    }
+  }
+  const std::string jsonl_path = flags.get("jsonl", "");
+  bench::fail_on_unknown_flags(flags);
+
+  // Open the artifact before the (potentially long) sweep so a bad path
+  // fails in milliseconds, not after the last cell.
+  std::ofstream jsonl_file;
+  if (!jsonl_path.empty() && jsonl_path != "-") {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::cerr << "cannot open " << jsonl_path << "\n";
+      return 1;
+    }
+  }
+
+  orchestrate::SweepOptions opts;
+  opts.threads = scale.threads;
+  opts.progress = orchestrate::stderr_progress("  cells");
+  const orchestrate::SweepResult result = orchestrate::run_sweep(spec, opts);
+
+  if (jsonl_path == "-") {
+    result.write_jsonl(std::cout);
+  } else {
+    if (jsonl_file.is_open()) result.write_jsonl(jsonl_file);
+    std::cout << "== spf_sweep: " << result.cells.size() << " cells ("
+              << result.failed_count() << " failed) ==\n\n";
+    bench::emit(result.to_table(), scale);
+  }
+  return result.failed_count() == 0 ? 0 : 1;
+}

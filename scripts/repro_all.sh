@@ -3,8 +3,14 @@
 # ablation. Outputs land in test_output.txt / bench_output.txt at the repo
 # root. Pass --paper to ALSO rerun the headline experiments at Table II input
 # sizes (adds ~10-30 minutes).
+#
+# Sweep-shaped harnesses fan their cells out over the spf::orchestrate
+# engine; SPF_THREADS caps the worker count (default: all cores, which still
+# emits bit-identical artifacts — see docs/orchestrator.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+THREADS="${SPF_THREADS:-$(nproc)}"
 
 cmake -B build -G Ninja
 cmake --build build
@@ -16,20 +22,32 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     [ -f "$b" ] && [ -x "$b" ] || continue
     case "$b" in *.cmake) continue ;; esac
     echo "=============================================================="
-    echo "== $b"
+    echo "== $b --threads=$THREADS"
     echo "=============================================================="
-    "$b"
+    "$b" --threads="$THREADS"
     echo
   done
 } 2>&1 | tee bench_output.txt
+
+# The full cross-product in one orchestrated run: every workload × a ladder
+# of distances around each plane's bound × both RP regimes, JSONL artifact
+# alongside the table.
+{
+  echo "=============================================================="
+  echo "== build/bench/spf_sweep --workloads=em3d,mcf,mst --rps=0.5,1.0" \
+       "--threads=$THREADS"
+  echo "=============================================================="
+  build/bench/spf_sweep --workloads=em3d,mcf,mst --rps=0.5,1.0 \
+    --threads="$THREADS" --jsonl=sweep_results.jsonl
+} 2>&1 | tee -a bench_output.txt
 
 if [[ "${1:-}" == "--paper" ]]; then
   {
     for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior; do
       echo "=============================================================="
-      echo "== build/bench/$b --scale=paper"
+      echo "== build/bench/$b --scale=paper --threads=$THREADS"
       echo "=============================================================="
-      "build/bench/$b" --scale=paper
+      "build/bench/$b" --scale=paper --threads="$THREADS"
       echo
     done
   } 2>&1 | tee bench_output_paper.txt

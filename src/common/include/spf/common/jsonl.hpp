@@ -1,0 +1,44 @@
+// Minimal JSON Lines emitter for machine-readable sweep artifacts.
+//
+// One JsonObject per record; fields render in insertion order with
+// deterministic formatting (doubles via %.17g round-trip notation), so two
+// runs that produce the same values emit byte-identical lines — the property
+// the orchestration engine's determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace spf {
+
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  JsonObject& add(const std::string& key, std::int64_t value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  JsonObject& add(const std::string& key, std::uint32_t value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, bool value);
+  JsonObject& add_null(const std::string& key);
+
+  /// The object as one line: {"k":v,...} — no trailing newline.
+  [[nodiscard]] std::string line() const;
+
+ private:
+  void append_key(const std::string& key);
+  std::string body_;
+};
+
+/// Escapes per RFC 8259 (quote, backslash, and control characters).
+std::string json_escape(const std::string& s);
+
+/// Deterministic shortest round-trip formatting ("%.17g", with non-finite
+/// values rendered as null per JSON).
+std::string json_double(double v);
+
+/// Writes `obj` as one JSONL record (line + '\n').
+std::ostream& operator<<(std::ostream& out, const JsonObject& obj);
+
+}  // namespace spf

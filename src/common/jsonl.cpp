@@ -1,0 +1,98 @@
+#include "spf/common/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace spf {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonObject::append_key(const std::string& key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  append_key(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
+  append_key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  append_key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint32_t value) {
+  return add(key, static_cast<std::uint64_t>(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  append_key(key);
+  body_ += json_double(value);
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  append_key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::add_null(const std::string& key) {
+  append_key(key);
+  body_ += "null";
+  return *this;
+}
+
+std::string JsonObject::line() const { return "{" + body_ + "}"; }
+
+std::ostream& operator<<(std::ostream& out, const JsonObject& obj) {
+  return out << obj.line() << '\n';
+}
+
+}  // namespace spf

@@ -7,6 +7,13 @@
 //   Figures 4-6: change of totally hits / totally misses / partially hits as
 //                a percentage of the original run's memory accesses, plus
 //                normalized runtime.
+//
+// Re-entrancy: all three entry points are pure functions of their arguments —
+// each constructs a private CmpSimulator and touches no global mutable state —
+// so concurrent calls from different threads are safe; a shared TraceBuffer
+// is only ever read. The spf::orchestrate sweep engine relies on this;
+// tests/orchestrate_test.cpp runs under -DSPF_SANITIZE=thread to keep it
+// true.
 #pragma once
 
 #include <cstdint>

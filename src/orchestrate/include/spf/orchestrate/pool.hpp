@@ -1,0 +1,49 @@
+// Deterministic fan-out of independent jobs over a fixed-size thread pool.
+//
+// Jobs are identified by their index; each job writes only into its own
+// pre-allocated slot, so the aggregated output depends on the job *indices*
+// alone — never on completion order or thread count. `threads <= 1` runs the
+// legacy serial path on the caller's thread (no pool, no locks), which the
+// determinism tests compare byte-for-byte against parallel runs.
+//
+// Failure semantics: an exception thrown by one job is captured into that
+// job's JobOutcome; the remaining jobs still run. The sweep layer maps a
+// failed job to a failed cell instead of sinking the whole sweep.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace spf::orchestrate {
+
+/// Called after each job completes, serialized under a mutex:
+/// (jobs completed so far, total jobs).
+using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+
+struct JobOutcome {
+  bool ok = true;
+  /// exception message when !ok (exception type name for non-std throws).
+  std::string error;
+};
+
+/// 0 -> std::thread::hardware_concurrency() (at least 1); otherwise passthrough.
+[[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Runs body(0) .. body(count-1) on up to `threads` workers and returns one
+/// outcome per job, indexed by job id. Jobs are dispatched by an atomic
+/// cursor; `body` must be safe to call concurrently for distinct indices.
+std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
+                                    const std::function<void(std::size_t)>& body,
+                                    const ProgressFn& progress = {});
+
+/// Progress reporter writing "\r<label> <done>/<total>" to stderr, with a
+/// trailing newline once done == total.
+[[nodiscard]] ProgressFn stderr_progress(std::string label);
+
+/// First error among outcomes ("" when all ok) — convenience for harnesses
+/// that want fail-fast semantics on top of the isolating runner.
+[[nodiscard]] std::string first_error(const std::vector<JobOutcome>& outcomes);
+
+}  // namespace spf::orchestrate

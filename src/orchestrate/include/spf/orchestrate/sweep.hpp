@@ -1,0 +1,120 @@
+// Declarative sweep orchestration over the SP experiment space.
+//
+// A SweepSpec describes a grid: workloads × L2 geometries × helper kinds ×
+// prefetch ratios × prefetch distances. run_sweep() expands the grid into
+// cells in a fixed nested order (workload ▸ geometry ▸ helper ▸ RP ▸
+// distance), fans the per-cell simulations out over a thread pool, and
+// collects results into slots indexed by cell id — so the aggregated table /
+// CSV / JSONL artifacts are byte-identical regardless of thread count or
+// completion order (the simulator itself is deterministic; see
+// docs/simulator.md).
+//
+// Work sharing mirrors the benches' hand-rolled loops: the trace is emitted
+// once per workload, and the baseline (original, no helper) run plus the
+// Set-Affinity distance bound are computed once per workload × geometry and
+// shared by every cell in that plane.
+//
+// Failure semantics: an exception inside any job (trace emission, baseline,
+// or cell simulation) marks only the dependent cells failed — the sweep
+// always completes and reports per-cell errors. See docs/orchestrator.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spf/common/csv.hpp"
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/mem/geometry.hpp"
+#include "spf/orchestrate/pool.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf::orchestrate {
+
+enum class HelperKind : std::uint8_t {
+  kBlockingLoad,        // the paper's helper: ordinary loads, self-throttling
+  kPrefetchInstruction  // leaf dereferences as non-binding prefetches
+};
+
+[[nodiscard]] const char* to_string(HelperKind kind) noexcept;
+
+/// A workload's emitted trace plus the invocation boundaries the Set-Affinity
+/// analysis needs.
+struct TraceSource {
+  TraceBuffer trace;
+  std::vector<std::uint32_t> invocation_starts;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  /// Emits the trace; runs as one job, concurrently with other workloads.
+  /// Must be deterministic and must not share mutable state with other specs.
+  std::function<TraceSource()> make;
+};
+
+/// Wraps an already-emitted trace (no re-emission inside the sweep).
+[[nodiscard]] WorkloadSpec from_source(std::string name, TraceSource source);
+
+struct SweepSpec {
+  std::vector<WorkloadSpec> workloads;
+  /// Explicit A_SKI values. Empty -> auto: spf::bench-style ladder around the
+  /// Set-Affinity bound of each workload × geometry plane.
+  std::vector<std::uint32_t> distances;
+  std::vector<double> rps = {0.5};
+  std::vector<CacheGeometry> geometries = {CacheGeometry(1 << 20, 16, 64)};
+  std::vector<HelperKind> helpers = {HelperKind::kBlockingLoad};
+  /// Hardware prefetchers in the baseline run (the paper's normalization).
+  bool baseline_hw_prefetch = true;
+  /// Compute cycles the helper spends per kept record.
+  std::uint16_t helper_compute_gap = 0;
+};
+
+struct SweepCell {
+  std::size_t id = 0;
+  std::string workload;
+  CacheGeometry l2 = CacheGeometry(1 << 20, 16, 64);
+  HelperKind helper = HelperKind::kBlockingLoad;
+  double rp = 0.5;
+  std::uint32_t distance = 0;  // A_SKI
+  /// Set-Affinity upper limit of this cell's workload × geometry plane.
+  std::uint32_t bound_upper = 0;
+};
+
+struct CellResult {
+  SweepCell cell;
+  bool ok = false;
+  std::string error;  // failure reason when !ok
+  SpComparison cmp;   // valid only when ok
+};
+
+struct SweepResult {
+  /// One slot per cell, in grid order (ids are dense and ascending).
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] std::size_t failed_count() const;
+  /// Aggregated artifact: one row per cell, grid order, failed cells
+  /// rendered with "-" metrics and the error in the status column.
+  [[nodiscard]] Table to_table() const;
+  [[nodiscard]] std::string to_csv() const;
+  /// One JSON object per cell, grid order.
+  void write_jsonl(std::ostream& out) const;
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+struct SweepOptions {
+  /// 0 = hardware concurrency; 1 = legacy serial path on the caller thread.
+  unsigned threads = 0;
+  ProgressFn progress;
+  /// Runs on the worker thread immediately before each cell's simulation; a
+  /// throw marks that cell failed. Seam for fault-injection tests and
+  /// cooperative cancellation.
+  std::function<void(const SweepCell&)> cell_hook;
+};
+
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    const SweepOptions& opts = {});
+
+}  // namespace spf::orchestrate

@@ -1,0 +1,22 @@
+// Ready-made WorkloadSpecs for the paper's benchmarks. Each spec captures a
+// config by value and emits its trace inside the sweep's workload job, so
+// trace construction parallelizes across workloads.
+#pragma once
+
+#include <string>
+
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace spf::orchestrate {
+
+[[nodiscard]] WorkloadSpec em3d_spec(const Em3dConfig& config,
+                                     std::string name = "em3d");
+[[nodiscard]] WorkloadSpec mcf_spec(const McfConfig& config,
+                                    std::string name = "mcf");
+[[nodiscard]] WorkloadSpec mst_spec(const MstConfig& config,
+                                    std::string name = "mst");
+
+}  // namespace spf::orchestrate

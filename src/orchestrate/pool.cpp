@@ -1,0 +1,92 @@
+#include "spf/orchestrate/pool.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace spf::orchestrate {
+namespace {
+
+JobOutcome run_one(const std::function<void(std::size_t)>& body,
+                   std::size_t index) {
+  JobOutcome outcome;
+  try {
+    body(index);
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+    if (outcome.error.empty()) outcome.error = "unknown std::exception";
+  } catch (...) {
+    outcome.ok = false;
+    outcome.error = "non-standard exception";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
+                                    const std::function<void(std::size_t)>& body,
+                                    const ProgressFn& progress) {
+  std::vector<JobOutcome> outcomes(count);
+  threads = resolve_threads(threads);
+
+  if (threads <= 1 || count <= 1) {
+    // Legacy serial path: caller's thread, no synchronization.
+    for (std::size_t i = 0; i < count; ++i) {
+      outcomes[i] = run_one(body, i);
+      if (progress) progress(i + 1, count);
+    }
+    return outcomes;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex progress_mutex;
+  std::size_t done = 0;  // guarded by progress_mutex; keeps reports monotone
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      outcomes[i] = run_one(body, i);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(++done, count);
+      }
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min<std::size_t>(threads, count);
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return outcomes;
+}
+
+ProgressFn stderr_progress(std::string label) {
+  return [label = std::move(label)](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r%s %zu/%zu", label.c_str(), done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+}
+
+std::string first_error(const std::vector<JobOutcome>& outcomes) {
+  for (const auto& o : outcomes) {
+    if (!o.ok) return o.error;
+  }
+  return "";
+}
+
+}  // namespace spf::orchestrate

@@ -1,0 +1,231 @@
+#include "spf/orchestrate/sweep.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "spf/common/jsonl.hpp"
+#include "spf/core/sp_params.hpp"
+
+namespace spf::orchestrate {
+namespace {
+
+/// Distance ladder spanning both sides of the pollution bound (the benches'
+/// paper-figure ladder): fractions/multiples of the upper limit, deduplicated.
+std::vector<std::uint32_t> auto_distances(std::uint32_t bound) {
+  std::vector<std::uint32_t> d;
+  for (const double f : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const auto v = static_cast<std::uint32_t>(f * bound);
+    if (v >= 1 && (d.empty() || v != d.back())) d.push_back(v);
+  }
+  if (d.empty()) d.push_back(1);
+  return d;
+}
+
+/// Baseline + distance bound shared by every cell of one workload × geometry
+/// plane.
+struct Plane {
+  DistanceBound bound;
+  SpRunSummary baseline;
+};
+
+}  // namespace
+
+const char* to_string(HelperKind kind) noexcept {
+  switch (kind) {
+    case HelperKind::kBlockingLoad: return "blocking-load";
+    case HelperKind::kPrefetchInstruction: return "prefetch-instruction";
+  }
+  return "?";
+}
+
+WorkloadSpec from_source(std::string name, TraceSource source) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.make = [source = std::move(source)]() { return source; };
+  return spec;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
+  const std::size_t n_workloads = spec.workloads.size();
+  const std::size_t n_geoms = spec.geometries.size();
+  const unsigned threads = resolve_threads(opts.threads);
+
+  // Phase 1: emit each workload's trace (one job per workload).
+  std::vector<TraceSource> sources(n_workloads);
+  const auto trace_outcomes =
+      run_indexed(n_workloads, threads,
+                  [&](std::size_t w) { sources[w] = spec.workloads[w].make(); });
+
+  // Phase 2: per-plane baseline run + Set-Affinity bound.
+  const std::size_t n_planes = n_workloads * n_geoms;
+  std::vector<Plane> planes(n_planes);
+  const auto plane_outcomes = run_indexed(
+      n_planes, threads, [&](std::size_t p) {
+        const std::size_t w = p / n_geoms;
+        const std::size_t g = p % n_geoms;
+        if (!trace_outcomes[w].ok) {
+          throw std::runtime_error("workload '" + spec.workloads[w].name +
+                                   "' failed: " + trace_outcomes[w].error);
+        }
+        const TraceSource& src = sources[w];
+        Plane& plane = planes[p];
+        plane.bound = estimate_distance_bound(src.trace, src.invocation_starts,
+                                              spec.geometries[g]);
+        SpExperimentConfig cfg;
+        cfg.sim.l2 = spec.geometries[g];
+        cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
+        plane.baseline = run_original(src.trace, cfg);
+      });
+
+  // Phase 3: expand the grid in fixed nested order. Cells of a failed plane
+  // are materialized anyway (auto mode gets a single placeholder distance)
+  // so the artifact shape — and the cell ids — stay deterministic.
+  std::vector<SweepCell> cells;
+  std::vector<std::size_t> cell_plane;
+  std::vector<std::string> cell_inherited;
+  for (std::size_t w = 0; w < n_workloads; ++w) {
+    for (std::size_t g = 0; g < n_geoms; ++g) {
+      const std::size_t p = w * n_geoms + g;
+      const bool plane_ok = plane_outcomes[p].ok;
+      std::vector<std::uint32_t> distances = spec.distances;
+      if (distances.empty()) {
+        distances =
+            plane_ok ? auto_distances(planes[p].bound.upper_limit)
+                     : std::vector<std::uint32_t>{0};
+      }
+      for (const HelperKind helper : spec.helpers) {
+        for (const double rp : spec.rps) {
+          for (const std::uint32_t distance : distances) {
+            SweepCell cell;
+            cell.id = cells.size();
+            cell.workload = spec.workloads[w].name;
+            cell.l2 = spec.geometries[g];
+            cell.helper = helper;
+            cell.rp = rp;
+            cell.distance = distance;
+            cell.bound_upper = plane_ok ? planes[p].bound.upper_limit : 0;
+            cells.push_back(cell);
+            cell_plane.push_back(p);
+            cell_inherited.push_back(plane_ok ? "" : plane_outcomes[p].error);
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 4: one SP simulation per cell, results into id-indexed slots.
+  SweepResult result;
+  result.cells.resize(cells.size());
+  const auto cell_outcomes = run_indexed(
+      cells.size(), threads,
+      [&](std::size_t i) {
+        const SweepCell& cell = cells[i];
+        if (!cell_inherited[i].empty()) {
+          throw std::runtime_error(cell_inherited[i]);
+        }
+        if (opts.cell_hook) opts.cell_hook(cell);
+        const std::size_t p = cell_plane[i];
+        const TraceSource& src = sources[p / n_geoms];
+        SpExperimentConfig cfg;
+        cfg.sim.l2 = cell.l2;
+        cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);
+        cfg.helper.use_prefetch_instructions =
+            cell.helper == HelperKind::kPrefetchInstruction;
+        cfg.helper.helper_compute_gap = spec.helper_compute_gap;
+        cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
+        result.cells[i].cmp.original = planes[p].baseline;
+        result.cells[i].cmp.sp = run_sp_once(src.trace, cfg);
+      },
+      opts.progress);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    result.cells[i].cell = cells[i];
+    result.cells[i].ok = cell_outcomes[i].ok;
+    result.cells[i].error = cell_outcomes[i].error;
+  }
+  return result;
+}
+
+std::size_t SweepResult::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cells) {
+    if (!c.ok) ++n;
+  }
+  return n;
+}
+
+Table SweepResult::to_table() const {
+  Table t({"workload", "L2", "helper", "RP", "A_SKI", "vs bound", "status",
+           "Normalized_Runtime", "Normalized_MemoryAccesses",
+           "Normalized_HotMisses", "dTotally_hit(%)", "dTotally_miss(%)",
+           "dPartially_hit(%)", "pollution"});
+  for (const auto& c : cells) {
+    t.row()
+        .add(c.cell.workload)
+        .add(c.cell.l2.to_string())
+        .add(to_string(c.cell.helper))
+        .add(c.cell.rp, 2)
+        .add(static_cast<std::uint64_t>(c.cell.distance));
+    if (!c.ok) {
+      t.add("-").add("failed: " + c.error);
+      for (int i = 0; i < 7; ++i) t.add("-");
+      continue;
+    }
+    t.add(c.cell.distance < c.cell.bound_upper ? "within" : "beyond")
+        .add("ok")
+        .add(c.cmp.norm_runtime(), 3)
+        .add(c.cmp.norm_memory_accesses(), 3)
+        .add(c.cmp.norm_hot_misses(), 3)
+        .add(100.0 * c.cmp.delta_totally_hit(), 2)
+        .add(100.0 * c.cmp.delta_totally_miss(), 2)
+        .add(100.0 * c.cmp.delta_partially_hit(), 2)
+        .add(c.cmp.sp.pollution.total_pollution());
+  }
+  return t;
+}
+
+std::string SweepResult::to_csv() const { return to_table().to_csv(); }
+
+void SweepResult::write_jsonl(std::ostream& out) const {
+  for (const auto& c : cells) {
+    JsonObject obj;
+    obj.add("id", static_cast<std::uint64_t>(c.cell.id))
+        .add("workload", c.cell.workload)
+        .add("l2", c.cell.l2.to_string())
+        .add("l2_bytes", c.cell.l2.size_bytes())
+        .add("assoc", c.cell.l2.ways())
+        .add("line", c.cell.l2.line_bytes())
+        .add("helper", to_string(c.cell.helper))
+        .add("rp", c.cell.rp)
+        .add("distance", c.cell.distance)
+        .add("bound_upper", c.cell.bound_upper)
+        .add("within_bound", c.cell.distance < c.cell.bound_upper)
+        .add("ok", c.ok);
+    if (!c.ok) {
+      obj.add("error", c.error);
+      out << obj;
+      continue;
+    }
+    obj.add("norm_runtime", c.cmp.norm_runtime())
+        .add("norm_memory_accesses", c.cmp.norm_memory_accesses())
+        .add("norm_hot_misses", c.cmp.norm_hot_misses())
+        .add("delta_totally_hit", c.cmp.delta_totally_hit())
+        .add("delta_totally_miss", c.cmp.delta_totally_miss())
+        .add("delta_partially_hit", c.cmp.delta_partially_hit())
+        .add("original_runtime", c.cmp.original.runtime)
+        .add("sp_runtime", c.cmp.sp.runtime)
+        .add("helper_finish", c.cmp.sp.helper_finish)
+        .add("pollution_total", c.cmp.sp.pollution.total_pollution());
+    out << obj;
+  }
+}
+
+std::string SweepResult::to_jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+}  // namespace spf::orchestrate

@@ -1,0 +1,33 @@
+#include "spf/orchestrate/workload_specs.hpp"
+
+#include <utility>
+
+namespace spf::orchestrate {
+namespace {
+
+template <typename Workload, typename Config>
+WorkloadSpec spec_for(Config config, std::string name) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.make = [config]() {
+    const Workload workload(config);
+    return TraceSource{workload.emit_trace(), workload.invocation_starts()};
+  };
+  return spec;
+}
+
+}  // namespace
+
+WorkloadSpec em3d_spec(const Em3dConfig& config, std::string name) {
+  return spec_for<Em3dWorkload>(config, std::move(name));
+}
+
+WorkloadSpec mcf_spec(const McfConfig& config, std::string name) {
+  return spec_for<McfWorkload>(config, std::move(name));
+}
+
+WorkloadSpec mst_spec(const MstConfig& config, std::string name) {
+  return spec_for<MstWorkload>(config, std::move(name));
+}
+
+}  // namespace spf::orchestrate
