@@ -21,10 +21,15 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     case "$b" in *.cmake) continue ;; esac
+    # micro_substrate is a google-benchmark binary: it rejects unknown flags,
+    # so it runs argument-free; everything else takes the bench_common knobs.
+    args="--threads=$THREADS"
+    case "$b" in *micro_substrate) args="" ;; esac
     echo "=============================================================="
-    echo "== $b --threads=$THREADS"
+    echo "== $b${args:+ $args}"
     echo "=============================================================="
-    "$b" --threads="$THREADS"
+    # shellcheck disable=SC2086  # args is one word or empty, splitting intended
+    "$b" $args
     echo
   done
 } 2>&1 | tee bench_output.txt

@@ -34,8 +34,8 @@ class JsonObject {
 /// Escapes per RFC 8259 (quote, backslash, and control characters).
 std::string json_escape(const std::string& s);
 
-/// Deterministic shortest round-trip formatting ("%.17g", with non-finite
-/// values rendered as null per JSON).
+/// Deterministic 17-significant-digit round-trip formatting ("%.17g", with
+/// non-finite values rendered as null per JSON).
 std::string json_double(double v);
 
 /// Writes `obj` as one JSONL record (line + '\n').

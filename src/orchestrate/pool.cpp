@@ -69,7 +69,16 @@ std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
       std::min<std::size_t>(threads, count);
   std::vector<std::thread> pool;
   pool.reserve(n_workers);
-  for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+  try {
+    for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed mid-spawn (resource exhaustion): park the
+    // cursor past the end so started workers drain and exit, join them,
+    // then surface the original error.
+    cursor.store(count, std::memory_order_relaxed);
+    for (auto& t : pool) t.join();
+    throw;
+  }
   for (auto& t : pool) t.join();
   return outcomes;
 }
