@@ -11,9 +11,12 @@
 //   --csv              emit CSV instead of the aligned table
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,16 +42,95 @@ struct Scale {
   unsigned threads = 0;
 };
 
+// ---- strict flag parsing ---------------------------------------------
+//
+// Every driver shares these: a malformed numeric value ("abc", "4x",
+// overflow, negative where unsigned is expected) is a usage error — exit 2
+// with a message — instead of silently parsing as 0 (CliFlags::get_int) or
+// throwing an unhandled std::invalid_argument.
+
+/// Exits 2 with `msg` plus the common-flag usage line.
+[[noreturn]] inline void usage_error(const std::string& msg) {
+  std::cerr << msg
+            << "\nusage: common flags are --scale=ci|paper --l2=<bytes> "
+               "--assoc=<ways> --line=<bytes> --threads=<n> --csv "
+               "(see the header comment of each driver for its own flags)\n";
+  std::exit(2);
+}
+
+/// Whole-token unsigned parse; rejects sign, trailing junk, and overflow.
+inline bool parse_u64(const std::string& s, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0' || s[0] == '-') {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+inline bool parse_u32(const std::string& s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+/// Whole-token double parse; rejects trailing junk and out-of-range values.
+inline bool parse_double(const std::string& s, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Strict accessor: `--name=<unsigned>` or the default; usage error otherwise.
+inline std::uint64_t require_uint(const CliFlags& flags, const std::string& name,
+                                  std::uint64_t def) {
+  const std::string raw = flags.get(name, "");
+  if (raw.empty() && !flags.has(name)) return def;
+  std::uint64_t v = 0;
+  if (!parse_u64(raw, v)) {
+    usage_error("bad --" + name + " value '" + raw + "' (want unsigned int)");
+  }
+  return v;
+}
+
+/// Strict accessor: `--name=<number>` or the default; usage error otherwise.
+inline double require_double(const CliFlags& flags, const std::string& name,
+                             double def) {
+  const std::string raw = flags.get(name, "");
+  if (raw.empty() && !flags.has(name)) return def;
+  double v = 0.0;
+  if (!parse_double(raw, v)) {
+    usage_error("bad --" + name + " value '" + raw + "' (want number)");
+  }
+  return v;
+}
+
 inline Scale parse_scale(const CliFlags& flags) {
   Scale s;
-  s.paper = flags.get("scale", "ci") == "paper";
-  const auto l2_bytes = static_cast<std::uint64_t>(
-      flags.get_int("l2", s.paper ? (4 << 20) : (1 << 20)));
-  const auto assoc = static_cast<std::uint32_t>(flags.get_int("assoc", 16));
-  const auto line = static_cast<std::uint32_t>(flags.get_int("line", 64));
-  s.l2 = CacheGeometry(l2_bytes, assoc, line);
+  const std::string scale_name = flags.get("scale", "ci");
+  if (scale_name != "ci" && scale_name != "paper") {
+    usage_error("bad --scale value '" + scale_name + "' (want ci|paper)");
+  }
+  s.paper = scale_name == "paper";
+  const std::uint64_t l2_bytes =
+      require_uint(flags, "l2", s.paper ? (4u << 20) : (1u << 20));
+  const auto assoc = static_cast<std::uint32_t>(require_uint(flags, "assoc", 16));
+  const auto line = static_cast<std::uint32_t>(require_uint(flags, "line", 64));
+  try {
+    s.l2 = CacheGeometry(l2_bytes, assoc, line);
+  } catch (const std::exception& e) {
+    usage_error(std::string("bad L2 geometry: ") + e.what());
+  }
   s.csv = flags.get_bool("csv", false);
-  s.threads = static_cast<unsigned>(flags.get_int("threads", 0));
+  s.threads = static_cast<unsigned>(require_uint(flags, "threads", 0));
   return s;
 }
 
@@ -58,6 +140,15 @@ inline void fail_on_unknown_flags(const CliFlags& flags) {
     std::cerr << "unknown flags:";
     for (const auto& f : unknown) std::cerr << " --" << f;
     std::cerr << "\n";
+    std::exit(2);
+  }
+  // No driver takes positional arguments; a stray one is almost always a
+  // flag typed with a space instead of '=' (e.g. `--out FILE`), and silently
+  // ignoring it means the flag silently kept its default.
+  if (!flags.positional().empty()) {
+    std::cerr << "unexpected positional arguments:";
+    for (const auto& p : flags.positional()) std::cerr << " " << p;
+    std::cerr << " (flags take the form --name=value)\n";
     std::exit(2);
   }
 }

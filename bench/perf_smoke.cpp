@@ -1,0 +1,150 @@
+// perf_smoke — the repo's benchmark trajectory point.
+//
+// Times the three hot paths the data-layout refactor targets and writes a
+// machine-readable BENCH_perf.json:
+//
+//   materialize  — em3d_ir trace emission (IR interpretation against
+//                  VirtualMemory), in IR memory ops per second;
+//   replay       — one SP sweep cell (run_sp_once) over the em3d_ir trace,
+//                  in trace accesses per second; this is the acceptance
+//                  metric for the hot-path refactor;
+//   sweep        — a small orchestrated 3-workload grid, in cells/second.
+//
+// Flags: --quick (CI smoke: small inputs, one reps), --out=PATH (default
+// BENCH_perf.json; "-" or "" = skip the artifact), --reps=N, plus the
+// standard bench_common knobs (--l2/--assoc/--line/--threads/--scale/--csv).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "spf/common/jsonl.hpp"
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/orchestrate/workload_specs.hpp"
+#include "spf/workloads/em3d_ir.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+  const bool quick = flags.get_bool("quick", false);
+  const auto reps =
+      static_cast<unsigned>(bench::require_uint(flags, "reps", quick ? 1 : 3));
+  const std::string out_path = flags.get("out", "BENCH_perf.json");
+  bench::fail_on_unknown_flags(flags);
+
+  Em3dConfig em3d_cfg = bench::em3d_config(scale);
+  if (quick) {
+    em3d_cfg.nodes = 2000;
+    em3d_cfg.arity = 8;
+    em3d_cfg.passes = 1;
+  }
+
+  // ---- materialize: IR interpretation emits the em3d trace --------------
+  const Em3dWorkload model(em3d_cfg);
+  Em3dIr ir = build_em3d_ir(model);
+  double materialize_sec = 0.0;
+  std::uint64_t ir_ops = 0;
+  ir::InterpResult interp;
+  for (unsigned r = 0; r < reps; ++r) {
+    ir::VirtualMemory vm = ir.memory;  // interpret mutates (stores)
+    const auto t0 = Clock::now();
+    interp = ir::interpret(ir.program, vm);
+    materialize_sec += seconds_since(t0);
+    ir_ops += interp.loads + interp.stores;
+  }
+  const TraceBuffer& trace = interp.trace;
+
+  // ---- replay: one SP sweep cell over the em3d_ir trace ------------------
+  SpExperimentConfig cell_cfg;
+  cell_cfg.sim.l2 = scale.l2;
+  cell_cfg.params = SpParams::from_distance_rp(16, 0.5);
+  double replay_sec = 0.0;
+  std::uint64_t replayed = 0;
+  std::uint64_t replay_checksum = 0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const SpRunSummary sp = run_sp_once(trace, cell_cfg);
+    replay_sec += seconds_since(t0);
+    replayed += trace.size();
+    replay_checksum ^= sp.runtime;  // defeat dead-code elimination
+  }
+
+  // ---- sweep: small orchestrated 3-workload grid -------------------------
+  orchestrate::SweepSpec spec;
+  Em3dConfig se = em3d_cfg;
+  McfConfig sm = bench::mcf_config(scale);
+  MstConfig st = bench::mst_config(scale);
+  // The quick grid must still saturate cache sets (the distance-bound
+  // derivation requires it), so it pairs the small workloads with a small
+  // 64 KiB L2 rather than the CI-scale geometry.
+  CacheGeometry sweep_geo = scale.l2;
+  if (quick) {
+    sm.nodes = 1000;
+    sm.arcs = 6000;
+    sm.passes = 1;
+    st.vertices = 400;
+    st.degree = 8;
+    st.buckets = 32;
+    sweep_geo = CacheGeometry(64 << 10, 8, 64);
+  }
+  spec.workloads.push_back(orchestrate::em3d_spec(se));
+  spec.workloads.push_back(orchestrate::mcf_spec(sm));
+  spec.workloads.push_back(orchestrate::mst_spec(st));
+  spec.distances = {1, 2, 4};
+  spec.geometries = {sweep_geo};
+  orchestrate::SweepOptions opts;
+  opts.threads = scale.threads;
+  const auto t0 = Clock::now();
+  const orchestrate::SweepResult sweep = orchestrate::run_sweep(spec, opts);
+  const double sweep_sec = seconds_since(t0);
+  if (sweep.failed_count() != 0) {
+    std::cerr << "perf_smoke: " << sweep.failed_count() << " sweep cells failed\n";
+    return 1;
+  }
+
+  const double materialize_ops_s =
+      materialize_sec > 0 ? static_cast<double>(ir_ops) / materialize_sec : 0;
+  const double replay_acc_s =
+      replay_sec > 0 ? static_cast<double>(replayed) / replay_sec : 0;
+  const double cells_s =
+      sweep_sec > 0 ? static_cast<double>(sweep.cells.size()) / sweep_sec : 0;
+
+  JsonObject obj;
+  obj.add("bench", "perf_smoke")
+      .add("quick", quick)
+      .add("reps", static_cast<std::uint64_t>(reps))
+      .add("l2", scale.l2.to_string())
+      .add("em3d_nodes", em3d_cfg.nodes)
+      .add("em3d_arity", em3d_cfg.arity)
+      .add("trace_records", static_cast<std::uint64_t>(trace.size()))
+      .add("materialize_ir_ops_per_sec", materialize_ops_s)
+      .add("materialize_sec", materialize_sec / reps)
+      .add("replay_accesses_per_sec", replay_acc_s)
+      .add("replay_sec_per_cell", replay_sec / reps)
+      .add("sweep_cells", static_cast<std::uint64_t>(sweep.cells.size()))
+      .add("sweep_cells_per_sec", cells_s)
+      .add("sweep_sec", sweep_sec)
+      .add("replay_checksum", replay_checksum);
+
+  std::cout << obj << std::flush;
+  if (!out_path.empty() && out_path != "-") {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << obj;
+  }
+  return 0;
+}

@@ -17,11 +17,8 @@
 //   --jsonl=PATH               also write a JSONL artifact (- = stdout)
 //   --threads=N                0 = hardware concurrency, 1 = serial
 //   --scale=paper, --l2=, --assoc=, --line=, --csv   as in every bench binary
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -38,38 +35,6 @@ std::vector<std::string> split(const std::string& s, char sep) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
-}
-
-// Strict numeric parsers: the whole token must be consumed and in range, so
-// malformed flag values ("abc", "4x", overflow) become a usage error instead
-// of an unhandled std::invalid_argument from std::stoul and friends.
-bool parse_u64(const std::string& s, std::uint64_t& out) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0' || s[0] == '-') {
-    return false;
-  }
-  out = v;
-  return true;
-}
-
-bool parse_u32(const std::string& s, std::uint32_t& out) {
-  std::uint64_t v = 0;
-  if (!parse_u64(s, v) || v > std::numeric_limits<std::uint32_t>::max()) {
-    return false;
-  }
-  out = static_cast<std::uint32_t>(v);
-  return true;
-}
-
-bool parse_double(const std::string& s, double& out) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
-  out = v;
-  return true;
 }
 
 }  // namespace
@@ -94,7 +59,7 @@ int main(int argc, char** argv) {
   }
   for (const auto& d : split(flags.get("distances", ""), ',')) {
     std::uint32_t dist = 0;
-    if (!parse_u32(d, dist)) {
+    if (!bench::parse_u32(d, dist)) {
       std::cerr << "bad --distances value '" << d << "' (want unsigned int)\n";
       return 2;
     }
@@ -103,7 +68,7 @@ int main(int argc, char** argv) {
   spec.rps.clear();
   for (const auto& r : split(flags.get("rps", "0.5"), ',')) {
     double rp = 0.0;
-    if (!parse_double(r, rp)) {
+    if (!bench::parse_double(r, rp)) {
       std::cerr << "bad --rps value '" << r << "' (want number)\n";
       return 2;
     }
@@ -130,8 +95,8 @@ int main(int argc, char** argv) {
       std::uint64_t bytes = 0;
       std::uint32_t ways = 0;
       std::uint32_t line = 0;
-      if (parts.size() != 3 || !parse_u64(parts[0], bytes) ||
-          !parse_u32(parts[1], ways) || !parse_u32(parts[2], line)) {
+      if (parts.size() != 3 || !bench::parse_u64(parts[0], bytes) ||
+          !bench::parse_u32(parts[1], ways) || !bench::parse_u32(parts[2], line)) {
         std::cerr << "bad geometry '" << g << "' (want bytes:ways:line)\n";
         return 2;
       }

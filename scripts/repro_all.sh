@@ -23,8 +23,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     case "$b" in *.cmake) continue ;; esac
     # micro_substrate is a google-benchmark binary: it rejects unknown flags,
     # so it runs argument-free; everything else takes the bench_common knobs.
+    # perf_smoke additionally writes the hot-path throughput record
+    # (BENCH_perf.json at the repo root) consumed by docs/simulator.md.
     args="--threads=$THREADS"
-    case "$b" in *micro_substrate) args="" ;; esac
+    case "$b" in
+      *micro_substrate) args="" ;;
+      *perf_smoke) args="--threads=$THREADS --out=BENCH_perf.json" ;;
+    esac
     echo "=============================================================="
     echo "== $b${args:+ $args}"
     echo "=============================================================="

@@ -1,5 +1,7 @@
 #include "spf/cache/cache.hpp"
 
+#include <bit>
+
 #include "spf/common/assert.hpp"
 
 namespace spf {
@@ -7,125 +9,56 @@ namespace spf {
 Cache::Cache(const CacheGeometry& geometry, ReplacementKind policy,
              std::uint64_t seed)
     : geometry_(geometry),
-      policy_(make_replacement(policy, geometry.num_sets(), geometry.ways(), seed)),
-      lines_(geometry.num_sets() * geometry.ways()) {}
-
-CacheLine* Cache::find(LineAddr line) noexcept {
-  const std::uint64_t set = geometry_.set_of_line(line);
-  CacheLine* base = &lines_[set * geometry_.ways()];
-  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
-    if (base[w].valid && base[w].line == line) return &base[w];
-  }
-  return nullptr;
-}
-
-const CacheLine* Cache::find(LineAddr line) const noexcept {
-  return const_cast<Cache*>(this)->find(line);
-}
-
-const CacheLine* Cache::probe(LineAddr line) const noexcept { return find(line); }
-
-bool Cache::access(LineAddr line, AccessKind kind, Cycle /*now*/) {
-  ++stats_.lookups;
-  CacheLine* hit = find(line);
-  if (hit == nullptr) {
-    ++stats_.misses;
-    return false;
-  }
-  ++stats_.hits;
-  const std::uint64_t set = geometry_.set_of_line(line);
-  const auto way = static_cast<std::uint32_t>(hit - &lines_[set * geometry_.ways()]);
-  policy_->on_hit(set, way);
-  if (kind != AccessKind::kPrefetch) hit->used_since_fill = true;
-  if (kind == AccessKind::kWrite) hit->dirty = true;
-  return true;
+      policy_(policy, geometry.num_sets(), geometry.ways(), seed),
+      lines_(geometry.num_sets() * geometry.ways()),
+      tags_(geometry.num_sets() * geometry.ways(), 0),
+      valid_(geometry.num_sets(), 0) {
+  SPF_ASSERT(geometry.ways() <= 64, "validity bitmask holds at most 64 ways");
 }
 
 std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId core,
                                     Cycle now) {
   const std::uint64_t set = geometry_.set_of_line(line);
-  CacheLine* base = &lines_[set * geometry_.ways()];
+  const std::size_t base = set * geometry_.ways();
 
   // Refresh in place if the line already landed (racing fills): promote its
   // recency like a hit would.
-  if (CacheLine* present = find(line)) {
-    const auto way =
-        static_cast<std::uint32_t>(present - &lines_[set * geometry_.ways()]);
-    policy_->on_hit(set, way);
+  if (const std::uint32_t present = find_way(set, line); present != kNoWay) {
+    policy_.on_hit(set, present);
     // A demand fill upgrades a prefetch-origin line: the processor now
     // genuinely wants it. A prefetch completing onto a demand-filled line
     // must not *downgrade* provenance.
     if (origin == FillOrigin::kDemand) {
-      present->used_since_fill = true;
+      lines_[base + present].used_since_fill = true;
     }
     return std::nullopt;
   }
 
-  ++stats_.fills;
-  std::uint32_t way = geometry_.ways();
-  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
-    if (!base[w].valid) {
-      way = w;
-      break;
-    }
-  }
-
-  std::optional<Eviction> evicted;
-  if (way == geometry_.ways()) {
-    way = policy_->victim(set);
-    SPF_DEBUG_ASSERT(way < geometry_.ways(), "policy returned bad way");
-    CacheLine& victim = base[way];
-    ++stats_.evictions;
-    if (!victim.used_since_fill) {
-      if (victim.origin == FillOrigin::kHelper) ++stats_.evicted_unused_helper;
-      if (victim.origin == FillOrigin::kHardware) ++stats_.evicted_unused_hw;
-    }
-    evicted = Eviction{victim, line, origin, now};
-  }
-
-  base[way] = CacheLine{
-      .line = line,
-      .valid = true,
-      .dirty = false,
-      .origin = origin,
-      .used_since_fill = origin == FillOrigin::kDemand,
-      .filler_core = core,
-      .fill_time = now,
-  };
-  policy_->on_fill(set, way);
-  return evicted;
+  return fill_absent(line, origin, core, now);
 }
 
 bool Cache::mark_dirty(LineAddr line) {
-  if (CacheLine* hit = find(line)) {
-    hit->dirty = true;
-    return true;
-  }
-  return false;
+  const std::uint64_t set = geometry_.set_of_line(line);
+  const std::uint32_t way = find_way(set, line);
+  if (way == kNoWay) return false;
+  lines_[set * geometry_.ways() + way].dirty = true;
+  return true;
 }
 
 bool Cache::invalidate(LineAddr line) {
-  if (CacheLine* hit = find(line)) {
-    *hit = CacheLine{};
-    return true;
-  }
-  return false;
+  const std::uint64_t set = geometry_.set_of_line(line);
+  const std::uint32_t way = find_way(set, line);
+  if (way == kNoWay) return false;
+  const std::size_t idx = set * geometry_.ways() + way;
+  lines_[idx] = CacheLine{};
+  tags_[idx] = 0;
+  valid_[set] &= ~(std::uint64_t{1} << way);
+  return true;
 }
 
 std::uint32_t Cache::set_occupancy(std::uint64_t set) const {
   SPF_ASSERT(set < geometry_.num_sets(), "set index out of range");
-  const CacheLine* base = &lines_[set * geometry_.ways()];
-  std::uint32_t n = 0;
-  for (std::uint32_t w = 0; w < geometry_.ways(); ++w) {
-    if (base[w].valid) ++n;
-  }
-  return n;
-}
-
-void Cache::for_each_line(const std::function<void(const CacheLine&)>& fn) const {
-  for (const CacheLine& l : lines_) {
-    if (l.valid) fn(l);
-  }
+  return static_cast<std::uint32_t>(std::popcount(valid_[set]));
 }
 
 }  // namespace spf

@@ -8,16 +8,23 @@
 // Every line remembers who filled it (FillOrigin) and whether a demand access
 // touched it since the fill — exactly the metadata the paper's three cache
 // pollution cases are defined over.
+//
+// Hot-path layout: lookups scan a flat structure-of-arrays view — one packed
+// tag array plus a per-set validity bitmask — so `find` touches only the
+// bytes it compares, not whole 40-byte CacheLine records. The CacheLine
+// array is kept alongside (same row-major (set, way) order, `valid` kept in
+// sync with the bitmask) for metadata reads, `probe` pointer stability, and
+// `for_each_line` iteration order.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "spf/cache/replacement.hpp"
+#include "spf/common/assert.hpp"
 #include "spf/mem/geometry.hpp"
 #include "spf/mem/types.hpp"
 
@@ -72,22 +79,43 @@ class Cache {
 
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
+  // All state is value-semantic (vectors + the replacement variant), so the
+  // defaulted moves are sound: the moved-from cache is empty but destructible,
+  // and can be reassigned a fresh Cache before reuse.
   Cache(Cache&&) = default;
   Cache& operator=(Cache&&) = default;
 
   [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geometry_; }
-  [[nodiscard]] ReplacementKind policy() const noexcept { return policy_->kind(); }
+  [[nodiscard]] ReplacementKind policy() const noexcept { return policy_.kind(); }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
   /// Side-effect-free lookup: returns the line if present, without touching
   /// replacement state or counters.
-  [[nodiscard]] const CacheLine* probe(LineAddr line) const noexcept;
+  [[nodiscard]] const CacheLine* probe(LineAddr line) const noexcept {
+    const std::uint64_t set = geometry_.set_of_line(line);
+    const std::uint32_t way = find_way(set, line);
+    return way == kNoWay ? nullptr : &lines_[set * geometry_.ways() + way];
+  }
 
   /// Reference the line. On a hit: updates replacement state, marks the line
   /// used (for demand kinds), sets dirty on writes, and returns true. On a
   /// miss: counts it and returns false (caller decides whether/when to fill).
-  bool access(LineAddr line, AccessKind kind, Cycle now);
+  bool access(LineAddr line, AccessKind kind, Cycle /*now*/) {
+    ++stats_.lookups;
+    const std::uint64_t set = geometry_.set_of_line(line);
+    const std::uint32_t way = find_way(set, line);
+    if (way == kNoWay) {
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.hits;
+    policy_.on_hit(set, way);
+    CacheLine& hit = lines_[set * geometry_.ways() + way];
+    if (kind != AccessKind::kPrefetch) hit.used_since_fill = true;
+    if (kind == AccessKind::kWrite) hit.dirty = true;
+    return true;
+  }
 
   /// Install `line`. If the set is full, evicts a victim and returns its
   /// metadata. Filling a line that is already present just refreshes its
@@ -95,6 +123,56 @@ class Cache {
   /// already installed the line).
   std::optional<Eviction> fill(LineAddr line, FillOrigin origin, CoreId core,
                                Cycle now);
+
+  /// fill() minus the already-present probe, for callers that have just
+  /// observed the miss with no intervening fill (the simulator's private-L1
+  /// refill). Precondition: `line` is not present. Inline: this is the
+  /// simulator's per-L1-miss refill path.
+  std::optional<Eviction> fill_absent(LineAddr line, FillOrigin origin,
+                                      CoreId core, Cycle now) {
+    const std::uint64_t set = geometry_.set_of_line(line);
+    const std::size_t base = set * geometry_.ways();
+    SPF_DEBUG_ASSERT(find_way(set, line) == kNoWay,
+                     "fill_absent on a present line");
+
+    ++stats_.fills;
+    const std::uint64_t full_mask =
+        geometry_.ways() == 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << geometry_.ways()) - 1;
+    const std::uint64_t free_mask = ~valid_[set] & full_mask;
+    std::uint32_t way = geometry_.ways();
+    if (free_mask != 0) {
+      // Lowest invalid way first, matching the old ascending scan.
+      way = static_cast<std::uint32_t>(std::countr_zero(free_mask));
+    }
+
+    std::optional<Eviction> evicted;
+    if (way == geometry_.ways()) {
+      way = policy_.victim(set);
+      SPF_DEBUG_ASSERT(way < geometry_.ways(), "policy returned bad way");
+      CacheLine& victim = lines_[base + way];
+      ++stats_.evictions;
+      if (!victim.used_since_fill) {
+        if (victim.origin == FillOrigin::kHelper) ++stats_.evicted_unused_helper;
+        if (victim.origin == FillOrigin::kHardware) ++stats_.evicted_unused_hw;
+      }
+      evicted = Eviction{victim, line, origin, now};
+    }
+
+    lines_[base + way] = CacheLine{
+        .line = line,
+        .valid = true,
+        .dirty = false,
+        .origin = origin,
+        .used_since_fill = origin == FillOrigin::kDemand,
+        .filler_core = core,
+        .fill_time = now,
+    };
+    tags_[base + way] = line;
+    valid_[set] |= std::uint64_t{1} << way;
+    policy_.on_fill(set, way);
+    return evicted;
+  }
 
   /// Drop the line if present. Returns true if it was present.
   bool invalidate(LineAddr line);
@@ -106,21 +184,38 @@ class Cache {
   /// Number of valid lines currently in `set`.
   [[nodiscard]] std::uint32_t set_occupancy(std::uint64_t set) const;
 
-  /// Visit every valid line (diagnostics / inspectors).
-  void for_each_line(const std::function<void(const CacheLine&)>& fn) const;
+  /// Visit every valid line (diagnostics / inspectors), in row-major
+  /// (set, way) order. Templated so visitors inline — no std::function
+  /// type erasure on snapshot paths.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const CacheLine& l : lines_) {
+      if (l.valid) fn(l);
+    }
+  }
 
  private:
-  struct WayRef {
-    std::uint64_t set;
-    std::uint32_t way;
-  };
+  static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
 
-  [[nodiscard]] CacheLine* find(LineAddr line) noexcept;
-  [[nodiscard]] const CacheLine* find(LineAddr line) const noexcept;
+  /// Way holding `line` in `set`, or kNoWay. Scans only the valid ways via
+  /// the set's bitmask against the packed tag array.
+  [[nodiscard]] std::uint32_t find_way(std::uint64_t set,
+                                       LineAddr line) const noexcept {
+    const LineAddr* tags = &tags_[set * geometry_.ways()];
+    std::uint64_t m = valid_[set];
+    while (m != 0) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (tags[w] == line) return w;
+      m &= m - 1;
+    }
+    return kNoWay;
+  }
 
   CacheGeometry geometry_;
-  std::unique_ptr<ReplacementPolicy> policy_;
-  std::vector<CacheLine> lines_;  // num_sets * ways, row-major by set
+  ReplacementState policy_;
+  std::vector<CacheLine> lines_;   // num_sets * ways, row-major by set
+  std::vector<LineAddr> tags_;     // mirror of lines_[i].line, packed
+  std::vector<std::uint64_t> valid_;  // per-set validity bitmask (ways <= 64)
   CacheStats stats_;
 };
 

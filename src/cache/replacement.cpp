@@ -1,182 +1,8 @@
 #include "spf/cache/replacement.hpp"
 
-#include <limits>
 #include <stdexcept>
-#include <vector>
-
-#include "spf/common/assert.hpp"
 
 namespace spf {
-namespace {
-
-/// True LRU via per-line monotonic reference stamps; victim is the minimum
-/// stamp. Linear scan over <= 16 ways is cheaper than maintaining a list.
-class LruPolicy final : public ReplacementPolicy {
- public:
-  LruPolicy(std::uint64_t num_sets, std::uint32_t ways)
-      : ways_(ways), stamps_(num_sets * ways, 0) {}
-
-  void on_hit(std::uint64_t set, std::uint32_t way) override {
-    stamps_[set * ways_ + way] = ++clock_;
-  }
-  void on_fill(std::uint64_t set, std::uint32_t way) override {
-    stamps_[set * ways_ + way] = ++clock_;
-  }
-  std::uint32_t victim(std::uint64_t set) override {
-    std::uint32_t best = 0;
-    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      const std::uint64_t s = stamps_[set * ways_ + w];
-      if (s < best_stamp) {
-        best_stamp = s;
-        best = w;
-      }
-    }
-    return best;
-  }
-  ReplacementKind kind() const noexcept override { return ReplacementKind::kLru; }
-
- private:
-  std::uint32_t ways_;
-  std::uint64_t clock_ = 0;
-  std::vector<std::uint64_t> stamps_;
-};
-
-/// Tree pseudo-LRU: one bit per internal node of a binary tree over the ways.
-/// This is what real L2s (including Core 2's) approximate LRU with.
-class TreePlruPolicy final : public ReplacementPolicy {
- public:
-  TreePlruPolicy(std::uint64_t num_sets, std::uint32_t ways)
-      : ways_(ways), bits_(num_sets * (ways > 1 ? ways - 1 : 1), 0) {
-    SPF_ASSERT((ways & (ways - 1)) == 0, "tree-PLRU needs power-of-two ways");
-  }
-
-  void on_hit(std::uint64_t set, std::uint32_t way) override { touch(set, way); }
-  void on_fill(std::uint64_t set, std::uint32_t way) override { touch(set, way); }
-
-  std::uint32_t victim(std::uint64_t set) override {
-    if (ways_ == 1) return 0;
-    std::uint8_t* tree = &bits_[set * (ways_ - 1)];
-    std::uint32_t node = 0;
-    // Follow the bits toward the pseudo-least-recently-used leaf: bit==0
-    // means "left subtree is older".
-    std::uint32_t leaf_base = 0;
-    std::uint32_t span = ways_;
-    while (span > 1) {
-      const bool go_right = tree[node] != 0;
-      span /= 2;
-      if (go_right) leaf_base += span;
-      node = 2 * node + (go_right ? 2 : 1);
-    }
-    return leaf_base;
-  }
-  ReplacementKind kind() const noexcept override {
-    return ReplacementKind::kTreePlru;
-  }
-
- private:
-  void touch(std::uint64_t set, std::uint32_t way) {
-    if (ways_ == 1) return;
-    std::uint8_t* tree = &bits_[set * (ways_ - 1)];
-    std::uint32_t node = 0;
-    std::uint32_t leaf_base = 0;
-    std::uint32_t span = ways_;
-    while (span > 1) {
-      span /= 2;
-      const bool in_right = way >= leaf_base + span;
-      // Point the bit away from the touched way.
-      tree[node] = in_right ? 0 : 1;
-      if (in_right) leaf_base += span;
-      node = 2 * node + (in_right ? 2 : 1);
-    }
-  }
-
-  std::uint32_t ways_;
-  std::vector<std::uint8_t> bits_;
-};
-
-/// FIFO: victim is the oldest *fill*; hits do not refresh.
-class FifoPolicy final : public ReplacementPolicy {
- public:
-  FifoPolicy(std::uint64_t num_sets, std::uint32_t ways)
-      : ways_(ways), stamps_(num_sets * ways, 0) {}
-
-  void on_hit(std::uint64_t, std::uint32_t) override {}
-  void on_fill(std::uint64_t set, std::uint32_t way) override {
-    stamps_[set * ways_ + way] = ++clock_;
-  }
-  std::uint32_t victim(std::uint64_t set) override {
-    std::uint32_t best = 0;
-    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      const std::uint64_t s = stamps_[set * ways_ + w];
-      if (s < best_stamp) {
-        best_stamp = s;
-        best = w;
-      }
-    }
-    return best;
-  }
-  ReplacementKind kind() const noexcept override { return ReplacementKind::kFifo; }
-
- private:
-  std::uint32_t ways_;
-  std::uint64_t clock_ = 0;
-  std::vector<std::uint64_t> stamps_;
-};
-
-class RandomPolicy final : public ReplacementPolicy {
- public:
-  RandomPolicy(std::uint32_t ways, std::uint64_t seed) : ways_(ways), rng_(seed) {}
-
-  void on_hit(std::uint64_t, std::uint32_t) override {}
-  void on_fill(std::uint64_t, std::uint32_t) override {}
-  std::uint32_t victim(std::uint64_t) override {
-    return static_cast<std::uint32_t>(rng_.below(ways_));
-  }
-  ReplacementKind kind() const noexcept override {
-    return ReplacementKind::kRandom;
-  }
-
- private:
-  std::uint32_t ways_;
-  Xoshiro256 rng_;
-};
-
-/// SRRIP (Jaleel et al., ISCA'10) with 2-bit re-reference prediction values.
-/// Fills insert at RRPV=2 (long re-reference), hits promote to 0, victims are
-/// lines at RRPV=3 (aging the whole set until one exists).
-class SrripPolicy final : public ReplacementPolicy {
- public:
-  SrripPolicy(std::uint64_t num_sets, std::uint32_t ways)
-      : ways_(ways), rrpv_(num_sets * ways, kMax) {}
-
-  void on_hit(std::uint64_t set, std::uint32_t way) override {
-    rrpv_[set * ways_ + way] = 0;
-  }
-  void on_fill(std::uint64_t set, std::uint32_t way) override {
-    rrpv_[set * ways_ + way] = kLong;
-  }
-  std::uint32_t victim(std::uint64_t set) override {
-    std::uint8_t* row = &rrpv_[set * ways_];
-    for (;;) {
-      for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (row[w] == kMax) return w;
-      }
-      for (std::uint32_t w = 0; w < ways_; ++w) ++row[w];
-    }
-  }
-  ReplacementKind kind() const noexcept override { return ReplacementKind::kSrrip; }
-
- private:
-  static constexpr std::uint8_t kMax = 3;
-  static constexpr std::uint8_t kLong = 2;
-
-  std::uint32_t ways_;
-  std::vector<std::uint8_t> rrpv_;
-};
-
-}  // namespace
 
 const char* to_string(ReplacementKind k) noexcept {
   switch (k) {
@@ -198,23 +24,21 @@ ReplacementKind replacement_from_string(const std::string& s) {
   throw std::invalid_argument("unknown replacement policy: " + s);
 }
 
-std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
-                                                    std::uint64_t num_sets,
-                                                    std::uint32_t ways,
-                                                    std::uint64_t seed) {
+std::variant<LruState, TreePlruState, FifoState, RandomState, SrripState>
+ReplacementState::make(ReplacementKind kind, std::uint64_t num_sets,
+                       std::uint32_t ways, std::uint64_t seed) {
   switch (kind) {
-    case ReplacementKind::kLru:
-      return std::make_unique<LruPolicy>(num_sets, ways);
-    case ReplacementKind::kTreePlru:
-      return std::make_unique<TreePlruPolicy>(num_sets, ways);
-    case ReplacementKind::kFifo:
-      return std::make_unique<FifoPolicy>(num_sets, ways);
-    case ReplacementKind::kRandom:
-      return std::make_unique<RandomPolicy>(ways, seed);
-    case ReplacementKind::kSrrip:
-      return std::make_unique<SrripPolicy>(num_sets, ways);
+    case ReplacementKind::kLru: return LruState(num_sets, ways);
+    case ReplacementKind::kTreePlru: return TreePlruState(num_sets, ways);
+    case ReplacementKind::kFifo: return FifoState(num_sets, ways);
+    case ReplacementKind::kRandom: return RandomState(ways, seed);
+    case ReplacementKind::kSrrip: return SrripState(num_sets, ways);
   }
   SPF_UNREACHABLE("bad ReplacementKind");
 }
+
+ReplacementState::ReplacementState(ReplacementKind kind, std::uint64_t num_sets,
+                                   std::uint32_t ways, std::uint64_t seed)
+    : state_(make(kind, num_sets, ways, seed)) {}
 
 }  // namespace spf

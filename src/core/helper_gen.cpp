@@ -14,9 +14,17 @@ TraceBuffer make_helper_trace(const TraceBuffer& main_trace,
 
   TraceBuffer helper;
   helper.reserve(main_trace.size() / 2);
+  // Records arrive grouped by outer iteration, so the round position only
+  // needs recomputing when the iteration changes — not one div per record.
+  std::uint32_t last_outer = ~std::uint32_t{0};
+  std::uint32_t last_pos = 0;
   for (const TraceRecord& r : main_trace) {
     if (r.kind() == AccessKind::kWrite) continue;  // helper never stores
-    const std::uint32_t pos = r.outer_iter % round;
+    if (r.outer_iter != last_outer) {
+      last_outer = r.outer_iter;
+      last_pos = r.outer_iter % round;
+    }
+    const std::uint32_t pos = last_pos;
     const bool pre_execute = pos >= params.a_ski;
     if (!pre_execute && !r.is_spine()) continue;
 

@@ -1,11 +1,23 @@
-// Sparse virtual memory for IR programs: 64-bit words addressed by byte
-// address (8-byte aligned). Workload encoders populate it with the data
-// structures (next pointers, dependency arrays); the interpreter's loads
-// read real values out of it, so pointer chases follow real chains.
+// Virtual memory for IR programs: 64-bit words addressed by byte address
+// (8-byte aligned). Workload encoders populate it with the data structures
+// (next pointers, dependency arrays); the interpreter's loads read real
+// values out of it, so pointer chases follow real chains.
+//
+// Storage is *paged*, not hashed: the low 8 GiB of the address space (which
+// is where VirtualHeap places every workload) is backed by lazily allocated
+// fixed-size pages reached through a page-table vector — a read is two
+// indexed loads, no hashing, no probing. Addresses beyond the paged span
+// (reachable only through wild pointer arithmetic in fuzzed programs) fall
+// back to a sparse map. Untouched memory reads as zero either way, and
+// `resident_words()` counts exactly the words ever written (even with value
+// zero), matching the previous hash-map semantics bit for bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "spf/mem/types.hpp"
 
@@ -13,18 +25,74 @@ namespace spf::ir {
 
 class VirtualMemory {
  public:
+  VirtualMemory() = default;
+  VirtualMemory(VirtualMemory&&) noexcept = default;
+  VirtualMemory& operator=(VirtualMemory&&) noexcept = default;
+  VirtualMemory(const VirtualMemory& other);
+  VirtualMemory& operator=(const VirtualMemory& other);
+  ~VirtualMemory() = default;
+
   /// Word at byte address `addr` (rounded down to 8-byte alignment);
   /// untouched memory reads as zero.
-  [[nodiscard]] std::uint64_t read(Addr addr) const;
-  void write(Addr addr, std::uint64_t value);
+  [[nodiscard]] std::uint64_t read(Addr addr) const {
+    const std::uint64_t word = align(addr) >> 3;
+    const std::uint64_t page = word >> kPageWordShift;
+    if (page < pages_.size()) [[likely]] {
+      const Page* p = pages_[page].get();
+      return p != nullptr ? p->words[word & kPageWordMask] : 0;
+    }
+    return read_sparse(align(addr));
+  }
 
+  void write(Addr addr, std::uint64_t value) {
+    const Addr a = align(addr);
+    const std::uint64_t word = a >> 3;
+    const std::uint64_t page = word >> kPageWordShift;
+    if (page < pages_.size() && pages_[page] != nullptr) [[likely]] {
+      write_in_page(*pages_[page], word, value);
+      return;
+    }
+    write_slow(a, value);
+  }
+
+  /// Number of distinct words ever written.
   [[nodiscard]] std::size_t resident_words() const noexcept {
-    return words_.size();
+    return resident_ + sparse_.size();
   }
 
  private:
+  // 4096 words = 32 KiB of data per page; the paged span covers word
+  // indices below kMaxDirectPages * kPageWords (byte addresses < 8 GiB).
+  static constexpr std::uint64_t kPageWordShift = 12;
+  static constexpr std::uint64_t kPageWords = 1ull << kPageWordShift;
+  static constexpr std::uint64_t kPageWordMask = kPageWords - 1;
+  static constexpr std::uint64_t kMaxDirectPages = 1ull << 18;
+
+  struct Page {
+    std::array<std::uint64_t, kPageWords> words{};
+    /// One bit per word: has it ever been written? (Backs resident_words();
+    /// a written zero is resident, an untouched word is not.)
+    std::array<std::uint64_t, kPageWords / 64> written{};
+  };
+
   static Addr align(Addr addr) noexcept { return addr & ~Addr{7}; }
-  std::unordered_map<Addr, std::uint64_t> words_;
+
+  void write_in_page(Page& p, std::uint64_t word, std::uint64_t value) {
+    const std::uint64_t slot = word & kPageWordMask;
+    p.words[slot] = value;
+    std::uint64_t& bits = p.written[slot >> 6];
+    const std::uint64_t bit = 1ull << (slot & 63);
+    resident_ += (bits & bit) == 0;
+    bits |= bit;
+  }
+
+  [[nodiscard]] std::uint64_t read_sparse(Addr aligned) const;
+  void write_slow(Addr aligned, std::uint64_t value);
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::size_t resident_ = 0;
+  /// Fallback for addresses beyond the paged span.
+  std::unordered_map<Addr, std::uint64_t> sparse_;
 };
 
 }  // namespace spf::ir

@@ -2,13 +2,42 @@
 
 namespace spf::ir {
 
-std::uint64_t VirtualMemory::read(Addr addr) const {
-  const auto it = words_.find(align(addr));
-  return it == words_.end() ? 0 : it->second;
+VirtualMemory::VirtualMemory(const VirtualMemory& other)
+    : pages_(), resident_(other.resident_), sparse_(other.sparse_) {
+  pages_.reserve(other.pages_.size());
+  for (const auto& page : other.pages_) {
+    pages_.push_back(page == nullptr ? nullptr
+                                     : std::make_unique<Page>(*page));
+  }
 }
 
-void VirtualMemory::write(Addr addr, std::uint64_t value) {
-  words_[align(addr)] = value;
+VirtualMemory& VirtualMemory::operator=(const VirtualMemory& other) {
+  if (this != &other) {
+    VirtualMemory copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+std::uint64_t VirtualMemory::read_sparse(Addr aligned) const {
+  const auto it = sparse_.find(aligned);
+  return it == sparse_.end() ? 0 : it->second;
+}
+
+void VirtualMemory::write_slow(Addr aligned, std::uint64_t value) {
+  const std::uint64_t word = aligned >> 3;
+  const std::uint64_t page = word >> kPageWordShift;
+  if (page >= kMaxDirectPages) {
+    sparse_[aligned] = value;
+    return;
+  }
+  if (page >= pages_.size()) {
+    pages_.resize(page + 1);
+  }
+  if (pages_[page] == nullptr) {
+    pages_[page] = std::make_unique<Page>();
+  }
+  write_in_page(*pages_[page], word, value);
 }
 
 }  // namespace spf::ir

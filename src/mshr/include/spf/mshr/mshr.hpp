@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "spf/mem/types.hpp"
@@ -58,8 +59,14 @@ class MshrFile {
   [[nodiscard]] bool full() const noexcept { return entries_.size() >= capacity_; }
   [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
 
-  /// Outstanding entry for `line`, or nullptr.
-  [[nodiscard]] const MshrEntry* find(LineAddr line) const noexcept;
+  /// Outstanding entry for `line`, or nullptr. Inline: the file is tiny
+  /// (<=32 entries) and this runs once per L2-visible access.
+  [[nodiscard]] const MshrEntry* find(LineAddr line) const noexcept {
+    for (const MshrEntry& e : entries_) {
+      if (e.line == line) return &e;
+    }
+    return nullptr;
+  }
 
   /// Allocate a new entry. Returns nullptr when the file is full (counted as
   /// a rejection; the caller decides whether to stall or drop).
@@ -77,8 +84,12 @@ class MshrFile {
   /// No-op if the line has no entry.
   void mark_write(LineAddr line);
 
-  /// Earliest outstanding completion time; Cycle max when empty.
-  [[nodiscard]] Cycle next_completion() const noexcept;
+  /// Earliest outstanding completion time; Cycle max when empty. O(1): the
+  /// minimum is maintained on allocate and recomputed when a drain removes
+  /// entries (the simulator polls this once per access, drains far less).
+  [[nodiscard]] Cycle next_completion() const noexcept {
+    return next_completion_;
+  }
 
   /// Remove and return every entry with fill_time <= now, in completion
   /// order (callers install the fills into the cache).
@@ -88,13 +99,22 @@ class MshrFile {
   /// fills it with the completed entries in completion order.
   void drain_completed_into(Cycle now, std::vector<MshrEntry>& out);
 
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept {
+    entries_.clear();
+    next_completion_ = std::numeric_limits<Cycle>::max();
+  }
 
  private:
-  [[nodiscard]] MshrEntry* find_mut(LineAddr line) noexcept;
+  [[nodiscard]] MshrEntry* find_mut(LineAddr line) noexcept {
+    for (MshrEntry& e : entries_) {
+      if (e.line == line) return &e;
+    }
+    return nullptr;
+  }
 
   std::size_t capacity_;
   std::vector<MshrEntry> entries_;  // small (<=32): linear scan wins
+  Cycle next_completion_ = std::numeric_limits<Cycle>::max();
   MshrStats stats_;
 };
 

@@ -12,17 +12,6 @@ MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity) {
   entries_.reserve(capacity);
 }
 
-MshrEntry* MshrFile::find_mut(LineAddr line) noexcept {
-  for (MshrEntry& e : entries_) {
-    if (e.line == line) return &e;
-  }
-  return nullptr;
-}
-
-const MshrEntry* MshrFile::find(LineAddr line) const noexcept {
-  return const_cast<MshrFile*>(this)->find_mut(line);
-}
-
 const MshrEntry* MshrFile::allocate(LineAddr line, Cycle issue, Cycle fill,
                                     FillOrigin origin, CoreId core) {
   SPF_DEBUG_ASSERT(find(line) == nullptr, "duplicate MSHR allocation");
@@ -36,6 +25,7 @@ const MshrEntry* MshrFile::allocate(LineAddr line, Cycle issue, Cycle fill,
                                .fill_time = fill,
                                .origin = origin,
                                .core = core});
+  next_completion_ = std::min(next_completion_, fill);
   ++stats_.allocations;
   stats_.peak_occupancy = std::max<std::uint64_t>(stats_.peak_occupancy,
                                                   entries_.size());
@@ -59,12 +49,6 @@ void MshrFile::mark_write(LineAddr line) {
   if (MshrEntry* e = find_mut(line)) e->write = true;
 }
 
-Cycle MshrFile::next_completion() const noexcept {
-  Cycle best = std::numeric_limits<Cycle>::max();
-  for (const MshrEntry& e : entries_) best = std::min(best, e.fill_time);
-  return best;
-}
-
 std::vector<MshrEntry> MshrFile::drain_completed(Cycle now) {
   std::vector<MshrEntry> done;
   drain_completed_into(now, done);
@@ -73,11 +57,22 @@ std::vector<MshrEntry> MshrFile::drain_completed(Cycle now) {
 
 void MshrFile::drain_completed_into(Cycle now, std::vector<MshrEntry>& out) {
   out.clear();
-  auto split = std::stable_partition(
-      entries_.begin(), entries_.end(),
-      [now](const MshrEntry& e) { return e.fill_time > now; });
-  out.assign(split, entries_.end());
-  entries_.erase(split, entries_.end());
+  // Stable in-place split (same result as stable_partition, but no temporary
+  // buffer allocation): completed entries move to `out` in arrival order,
+  // survivors keep their relative order.
+  std::size_t keep = 0;
+  Cycle next = std::numeric_limits<Cycle>::max();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fill_time > now) {
+      next = std::min(next, entries_[i].fill_time);
+      if (keep != i) entries_[keep] = entries_[i];
+      ++keep;
+    } else {
+      out.push_back(entries_[i]);
+    }
+  }
+  entries_.resize(keep);
+  next_completion_ = next;
   std::sort(out.begin(), out.end(),
             [](const MshrEntry& a, const MshrEntry& b) {
               return a.fill_time < b.fill_time;

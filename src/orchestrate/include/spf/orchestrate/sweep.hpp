@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,10 +53,15 @@ struct WorkloadSpec {
   std::string name;
   /// Emits the trace; runs as one job, concurrently with other workloads.
   /// Must be deterministic and must not share mutable state with other specs.
-  std::function<TraceSource()> make;
+  /// The sweep materializes the result once and shares the immutable source
+  /// across every grid cell — returning shared_ptr keeps multi-million-record
+  /// traces from being deep-copied per call. Returning nullptr is an error
+  /// (treated like a thrown emission failure).
+  std::function<std::shared_ptr<const TraceSource>()> make;
 };
 
-/// Wraps an already-emitted trace (no re-emission inside the sweep).
+/// Wraps an already-emitted trace (no re-emission inside the sweep; the spec
+/// holds one shared immutable copy handed out by every make() call).
 [[nodiscard]] WorkloadSpec from_source(std::string name, TraceSource source);
 
 struct SweepSpec {

@@ -43,7 +43,9 @@ const char* to_string(HelperKind kind) noexcept {
 WorkloadSpec from_source(std::string name, TraceSource source) {
   WorkloadSpec spec;
   spec.name = std::move(name);
-  spec.make = [source = std::move(source)]() { return source; };
+  spec.make = [src = std::make_shared<const TraceSource>(std::move(source))]() {
+    return src;
+  };
   return spec;
 }
 
@@ -52,11 +54,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
   const std::size_t n_geoms = spec.geometries.size();
   const unsigned threads = resolve_threads(opts.threads);
 
-  // Phase 1: emit each workload's trace (one job per workload).
-  std::vector<TraceSource> sources(n_workloads);
+  // Phase 1: materialize each workload's trace (one job per workload). The
+  // shared_ptr is the single copy every plane and cell reads from.
+  std::vector<std::shared_ptr<const TraceSource>> sources(n_workloads);
   const auto trace_outcomes =
-      run_indexed(n_workloads, threads,
-                  [&](std::size_t w) { sources[w] = spec.workloads[w].make(); });
+      run_indexed(n_workloads, threads, [&](std::size_t w) {
+        sources[w] = spec.workloads[w].make();
+        if (sources[w] == nullptr) {
+          throw std::runtime_error("make() returned no trace source");
+        }
+      });
 
   // Phase 2: per-plane baseline run + Set-Affinity bound.
   const std::size_t n_planes = n_workloads * n_geoms;
@@ -69,7 +76,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
           throw std::runtime_error("workload '" + spec.workloads[w].name +
                                    "' failed: " + trace_outcomes[w].error);
         }
-        const TraceSource& src = sources[w];
+        const TraceSource& src = *sources[w];
         Plane& plane = planes[p];
         plane.bound = estimate_distance_bound(src.trace, src.invocation_starts,
                                               spec.geometries[g]);
@@ -127,7 +134,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         }
         if (opts.cell_hook) opts.cell_hook(cell);
         const std::size_t p = cell_plane[i];
-        const TraceSource& src = sources[p / n_geoms];
+        const TraceSource& src = *sources[p / n_geoms];
         SpExperimentConfig cfg;
         cfg.sim.l2 = cell.l2;
         cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);

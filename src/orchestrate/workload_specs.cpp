@@ -1,5 +1,6 @@
 #include "spf/orchestrate/workload_specs.hpp"
 
+#include <memory>
 #include <utility>
 
 namespace spf::orchestrate {
@@ -11,7 +12,8 @@ WorkloadSpec spec_for(Config config, std::string name) {
   spec.name = std::move(name);
   spec.make = [config]() {
     const Workload workload(config);
-    return TraceSource{workload.emit_trace(), workload.invocation_starts()};
+    return std::make_shared<const TraceSource>(
+        TraceSource{workload.emit_trace(), workload.invocation_starts()});
   };
   return spec;
 }

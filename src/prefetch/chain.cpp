@@ -12,8 +12,13 @@ void PrefetcherChain::observe(const PrefetchObservation& obs,
                               std::vector<LineAddr>& out) {
   scratch_.clear();
   for (auto& engine : engines_) engine->observe(obs, scratch_);
-  std::sort(scratch_.begin(), scratch_.end());
-  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  // Sort/dedup are no-ops for 0 or 1 candidates — the common case on the
+  // per-access hot path.
+  if (scratch_.size() > 1) {
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+  }
   out.insert(out.end(), scratch_.begin(), scratch_.end());
 }
 

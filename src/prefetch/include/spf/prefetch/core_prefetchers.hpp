@@ -1,0 +1,66 @@
+// Devirtualized per-core prefetcher pair for the simulator hot path.
+//
+// Semantically identical to PrefetcherChain::core2_default (DPL stride first,
+// then the streamer, candidates of one observation sorted and deduplicated),
+// but the two engines are direct members: no unique_ptr indirection and no
+// virtual dispatch per access, so `observe` inlines into the simulator's
+// access loop. PrefetcherChain stays as the generic composition surface for
+// ablations and tests; this type is the fixed Core 2 arrangement only.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "spf/prefetch/stream.hpp"
+#include "spf/prefetch/stride.hpp"
+
+namespace spf {
+
+class CorePrefetchers {
+ public:
+  explicit CorePrefetchers(std::uint32_t line_bytes)
+      : stride_(stride_config(line_bytes)), stream_(stream_config(line_bytes)) {}
+
+  /// Observe one access and append this observation's deduplicated candidate
+  /// lines to `out` (stride engine's candidates ordered before the streamer's
+  /// when both fire, exactly like PrefetcherChain).
+  void observe(const PrefetchObservation& obs, std::vector<LineAddr>& out) {
+    const std::size_t first = out.size();
+    stride_.observe(obs, out);
+    stream_.observe(obs, out);
+    // Sort/dedup only this observation's tail; no-op for 0 or 1 candidates,
+    // the common case.
+    if (out.size() - first > 1) {
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+      out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(first),
+                            out.end()),
+                out.end());
+    }
+  }
+
+  void reset() {
+    stride_.reset();
+    stream_.reset();
+  }
+
+  [[nodiscard]] const StridePrefetcher& stride() const noexcept { return stride_; }
+  [[nodiscard]] const StreamPrefetcher& stream() const noexcept { return stream_; }
+
+ private:
+  static StrideConfig stride_config(std::uint32_t line_bytes) {
+    StrideConfig config;
+    config.line_bytes = line_bytes;
+    return config;
+  }
+  static StreamConfig stream_config(std::uint32_t line_bytes) {
+    StreamConfig config;
+    config.line_bytes = line_bytes;
+    return config;
+  }
+
+  StridePrefetcher stride_;
+  StreamPrefetcher stream_;
+};
+
+}  // namespace spf

@@ -1,7 +1,6 @@
 #include "spf/prefetch/stream.hpp"
 
 #include <bit>
-#include <limits>
 
 #include "spf/common/assert.hpp"
 
@@ -21,86 +20,6 @@ StreamPrefetcher::StreamPrefetcher(const StreamConfig& config)
              "page size must be a power of two");
   SPF_ASSERT(config.page_bytes > config.line_bytes, "page must exceed line");
   SPF_ASSERT(config.streams > 0, "need at least one stream tracker");
-}
-
-StreamPrefetcher::Stream* StreamPrefetcher::find_page(std::uint64_t page) {
-  for (Stream& s : streams_) {
-    if (s.state != State::kInvalid && s.page == page) return &s;
-  }
-  return nullptr;
-}
-
-StreamPrefetcher::Stream& StreamPrefetcher::victim() {
-  Stream* best = &streams_[0];
-  std::uint64_t best_lru = std::numeric_limits<std::uint64_t>::max();
-  for (Stream& s : streams_) {
-    if (s.state == State::kInvalid) return s;
-    if (s.lru < best_lru) {
-      best_lru = s.lru;
-      best = &s;
-    }
-  }
-  return *best;
-}
-
-void StreamPrefetcher::observe(const PrefetchObservation& obs,
-                               std::vector<LineAddr>& out) {
-  const LineAddr line = obs.addr >> line_shift_;
-  const std::uint64_t page = obs.addr >> page_shift_;
-  ++clock_;
-
-  Stream* s = find_page(page);
-  if (s == nullptr) {
-    if (!obs.was_miss) return;  // streams train on misses only
-    Stream& fresh = victim();
-    fresh = Stream{.state = State::kTraining,
-                   .page = page,
-                   .last_line = line,
-                   .sent_until = line,
-                   .dir = 1,
-                   .lru = clock_};
-    return;
-  }
-  s->lru = clock_;
-
-  if (s->state == State::kTraining) {
-    if (!obs.was_miss || line == s->last_line) return;
-    s->dir = line > s->last_line ? 1 : -1;
-    // Adjacent (or near-adjacent) second miss arms the stream.
-    const LineAddr gap = line > s->last_line ? line - s->last_line
-                                             : s->last_line - line;
-    if (gap <= 2) {
-      s->state = State::kArmed;
-      s->last_line = line;
-      s->sent_until = line;
-    } else {
-      s->last_line = line;  // restart training at the new point
-    }
-    if (s->state != State::kArmed) return;
-  } else {
-    s->last_line = line;
-  }
-
-  // Armed: keep the window `distance` lines ahead of the head, `degree` lines
-  // per trigger, clipped to the page.
-  const LineAddr page_first = s->page << (page_shift_ - line_shift_);
-  const LineAddr page_last = page_first + lines_per_page_ - 1;
-  std::uint32_t sent = 0;
-  while (sent < config_.degree) {
-    const std::int64_t ahead =
-        s->dir > 0 ? static_cast<std::int64_t>(s->sent_until) - static_cast<std::int64_t>(line)
-                   : static_cast<std::int64_t>(line) - static_cast<std::int64_t>(s->sent_until);
-    if (ahead >= static_cast<std::int64_t>(config_.distance)) break;
-    const std::int64_t next = static_cast<std::int64_t>(s->sent_until) + s->dir;
-    if (next < static_cast<std::int64_t>(page_first) ||
-        next > static_cast<std::int64_t>(page_last)) {
-      break;  // streamer never crosses the page
-    }
-    s->sent_until = static_cast<LineAddr>(next);
-    out.push_back(s->sent_until);
-    ++issued_;
-    ++sent;
-  }
 }
 
 void StreamPrefetcher::reset() {

@@ -18,37 +18,6 @@ StridePrefetcher::StridePrefetcher(const StrideConfig& config)
   SPF_ASSERT(config.threshold <= config.max_confidence, "threshold above saturation");
 }
 
-void StridePrefetcher::observe(const PrefetchObservation& obs,
-                               std::vector<LineAddr>& out) {
-  Entry& e = table_[obs.site & (config_.table_entries - 1)];
-  if (!e.valid || e.site != obs.site) {
-    e = Entry{.site = obs.site, .valid = true, .last_addr = obs.addr};
-    return;
-  }
-  const auto stride = static_cast<std::int64_t>(obs.addr) -
-                      static_cast<std::int64_t>(e.last_addr);
-  if (stride == 0) return;  // same address: no trend information
-  if (stride == e.stride) {
-    if (e.confidence < config_.max_confidence) ++e.confidence;
-  } else {
-    e.stride = stride;
-    e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
-  }
-  e.last_addr = obs.addr;
-  if (e.confidence < config_.threshold) return;
-
-  for (std::uint32_t d = 1; d <= config_.degree; ++d) {
-    const auto target = static_cast<std::int64_t>(obs.addr) +
-                        e.stride * static_cast<std::int64_t>(d);
-    if (target < 0) break;
-    const LineAddr line = static_cast<Addr>(target) >> line_shift_;
-    if (line != (obs.addr >> line_shift_)) {
-      out.push_back(line);
-      ++issued_;
-    }
-  }
-}
-
 void StridePrefetcher::reset() {
   for (Entry& e : table_) e = Entry{};
   issued_ = 0;

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -47,6 +46,42 @@ struct PollutionStats {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Bounded open-addressing map from shadowed line to the origin of the fill
+/// that evicted it. Linear probing with backward-shift deletion (no
+/// tombstones), sized to at most half-full for the tracker's fixed capacity,
+/// so lookups on the per-miss hot path touch one or two contiguous slots
+/// instead of chasing unordered_map buckets. Never iterated — membership and
+/// size are the only observable behaviour, so the probe order cannot leak
+/// into artifacts.
+class ShadowTable {
+ public:
+  explicit ShadowTable(std::uint32_t capacity);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Insert `line`, overwriting the stored origin if already present.
+  void insert_or_assign(LineAddr line, FillOrigin origin);
+  /// Remove `line` if present; returns true when it was.
+  bool erase(LineAddr line);
+
+ private:
+  struct Slot {
+    LineAddr line = 0;
+    FillOrigin origin = FillOrigin::kDemand;
+    bool occupied = false;
+  };
+
+  [[nodiscard]] std::size_t home_of(LineAddr line) const noexcept {
+    // Fibonacci multiply-shift onto the power-of-two table.
+    return (line * 0x9E3779B97F4A7C15ull) & mask_;
+  }
+  void erase_at(std::size_t hole);
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+};
+
 class PollutionTracker {
  public:
   /// `geometry` attributes every pollution event to its cache set, making
@@ -63,7 +98,7 @@ class PollutionTracker {
   bool on_demand_miss(LineAddr line);
 
   [[nodiscard]] const PollutionStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t shadow_size() const noexcept { return shadow_map_.size(); }
+  [[nodiscard]] std::size_t shadow_size() const noexcept { return shadow_.size(); }
 
   /// Pollution events attributed to `set`.
   [[nodiscard]] std::uint64_t set_pollution(std::uint64_t set) const;
@@ -78,10 +113,10 @@ class PollutionTracker {
 
   CacheGeometry geometry_;
   PollutionStats stats_;
-  /// FIFO of shadowed lines bounding shadow_map_.
+  /// FIFO of shadowed lines bounding the shadow table.
   RingBuffer<LineAddr> shadow_order_;
   /// line -> origin of the fill that evicted it.
-  std::unordered_map<LineAddr, FillOrigin> shadow_map_;
+  ShadowTable shadow_;
   /// set -> pollution events (all three cases).
   std::vector<std::uint64_t> per_set_;
 };

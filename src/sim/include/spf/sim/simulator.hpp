@@ -22,7 +22,7 @@
 #include "spf/cache/cache.hpp"
 #include "spf/memsys/memory.hpp"
 #include "spf/mshr/mshr.hpp"
-#include "spf/prefetch/chain.hpp"
+#include "spf/prefetch/core_prefetchers.hpp"
 #include "spf/sim/config.hpp"
 #include "spf/sim/pollution.hpp"
 #include "spf/sim/result.hpp"
@@ -61,12 +61,27 @@ class CmpSimulator {
     std::optional<RoundSync> sync;
     bool was_gated = false;
     std::unique_ptr<Cache> l1;
-    std::unique_ptr<PrefetcherChain> prefetcher;
+    /// Per-core hw prefetcher pair, held by value (optional only because
+    /// CoreState must be default-constructible before reset() configures it).
+    std::optional<CorePrefetchers> prefetcher;
     ThreadMetrics metrics;
+    // Scheduler/gating memoization (pure caches of values derivable from the
+    // state above; recomputed when their inputs change, so behaviour is
+    // identical to recomputing every call).
+    /// clock + pending record's compute_gap; maintained on every step.
+    Cycle next_time = 0;
+    std::uint32_t gate_next_round = 0;   // trace[cursor].outer_iter / round_iters
+    std::uint32_t gate_next_outer_seen = ~std::uint32_t{0};
+    std::uint32_t gate_leader_round = 0;
+    std::uint32_t gate_leader_outer_seen = 0;
+    bool gate_leader_started_seen = false;
   };
 
   void reset(const std::vector<CoreStream>& streams);
-  [[nodiscard]] bool gated(const CoreState& core) const;
+  [[nodiscard]] bool gated(CoreState& core) const;
+  /// Refresh `core.gate_next_round` from the pending record (call after the
+  /// cursor moves).
+  void refresh_gate_round(CoreState& core) const;
   void step(CoreId id);
   /// Demand path for one record; returns the completion time of the access.
   Cycle demand_access(CoreState& core, CoreId id, const TraceRecord& rec,

@@ -15,12 +15,72 @@ std::string PollutionStats::to_string() const {
   return out.str();
 }
 
+namespace {
+
+std::size_t shadow_slot_count(std::uint32_t capacity) {
+  // The ring bounds live entries to `capacity`; keep the table at most
+  // half-full so linear probe chains stay short.
+  std::size_t n = 16;
+  while (n < 2 * static_cast<std::size_t>(capacity)) n *= 2;
+  return n;
+}
+
+}  // namespace
+
+ShadowTable::ShadowTable(std::uint32_t capacity)
+    : slots_(shadow_slot_count(capacity)),
+      mask_(slots_.size() - 1) {}
+
+void ShadowTable::insert_or_assign(LineAddr line, FillOrigin origin) {
+  std::size_t i = home_of(line);
+  while (slots_[i].occupied) {
+    if (slots_[i].line == line) {
+      slots_[i].origin = origin;
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = Slot{.line = line, .origin = origin, .occupied = true};
+  ++size_;
+}
+
+bool ShadowTable::erase(LineAddr line) {
+  std::size_t i = home_of(line);
+  while (slots_[i].occupied) {
+    if (slots_[i].line == line) {
+      erase_at(i);
+      --size_;
+      return true;
+    }
+    i = (i + 1) & mask_;
+  }
+  return false;
+}
+
+void ShadowTable::erase_at(std::size_t hole) {
+  // Backward-shift deletion: pull each displaced successor in the probe
+  // chain into the hole instead of leaving a tombstone.
+  slots_[hole].occupied = false;
+  std::size_t j = hole;
+  for (;;) {
+    j = (j + 1) & mask_;
+    if (!slots_[j].occupied) return;
+    const std::size_t home = home_of(slots_[j].line);
+    // The element at j may move into the hole only if its home position is
+    // not cyclically inside (hole, j] — otherwise probing would lose it.
+    const bool stays = hole <= j ? (hole < home && home <= j)
+                                 : (home <= j || home > hole);
+    if (stays) continue;
+    slots_[hole] = slots_[j];
+    slots_[j].occupied = false;
+    hole = j;
+  }
+}
+
 PollutionTracker::PollutionTracker(std::uint32_t shadow_capacity,
                                    const CacheGeometry& geometry)
     : geometry_(geometry), shadow_order_(shadow_capacity),
-      per_set_(geometry.num_sets(), 0) {
-  shadow_map_.reserve(shadow_capacity);
-}
+      shadow_(shadow_capacity), per_set_(geometry.num_sets(), 0) {}
 
 void PollutionTracker::attribute(LineAddr line) {
   ++per_set_[geometry_.set_of_line(line)];
@@ -58,7 +118,7 @@ void PollutionTracker::on_eviction(const Eviction& ev) {
     // Demand fills can also displace useful data; that is ordinary capacity/
     // conflict behaviour, not prefetch pollution. Drop any stale shadow for
     // the victim so a later re-miss is not misattributed.
-    shadow_map_.erase(ev.victim.line);
+    shadow_.erase(ev.victim.line);
     return;
   }
   ++stats_.prefetch_caused_evictions;
@@ -80,15 +140,13 @@ void PollutionTracker::on_eviction(const Eviction& ev) {
   // demand miss returns for it — shadow it.
   LineAddr dropped = 0;
   if (shadow_order_.push(ev.victim.line, &dropped)) {
-    shadow_map_.erase(dropped);
+    shadow_.erase(dropped);
   }
-  shadow_map_[ev.victim.line] = ev.replaced_by_origin;
+  shadow_.insert_or_assign(ev.victim.line, ev.replaced_by_origin);
 }
 
 bool PollutionTracker::on_demand_miss(LineAddr line) {
-  auto it = shadow_map_.find(line);
-  if (it == shadow_map_.end()) return false;
-  shadow_map_.erase(it);
+  if (!shadow_.erase(line)) return false;
   ++stats_.case1_reuse_displaced;
   attribute(line);
   return true;

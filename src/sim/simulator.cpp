@@ -35,21 +35,42 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
     }
     core.l1 = std::make_unique<Cache>(config_.l1, ReplacementKind::kLru,
                                       config_.seed + i);
-    core.prefetcher = std::make_unique<PrefetcherChain>(
-        PrefetcherChain::core2_default(config_.l2.line_bytes()));
+    core.prefetcher.emplace(config_.l2.line_bytes());
+    refresh_gate_round(core);
+    if (core.cursor < core.trace->size()) {
+      core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+    }
   }
 }
 
-bool CmpSimulator::gated(const CoreState& core) const {
+void CmpSimulator::refresh_gate_round(CoreState& core) const {
+  if (core.sync && core.cursor < core.trace->size()) {
+    // Consecutive records usually share an outer iteration; divide only when
+    // it actually changed.
+    const std::uint32_t outer = (*core.trace)[core.cursor].outer_iter;
+    if (outer != core.gate_next_outer_seen) {
+      core.gate_next_outer_seen = outer;
+      core.gate_next_round = outer / core.sync->round_iters;
+    }
+  }
+}
+
+bool CmpSimulator::gated(CoreState& core) const {
   if (!core.sync || core.cursor >= core.trace->size()) return false;
   const CoreState& leader = cores_[core.sync->leader];
   if (leader.cursor >= leader.trace->size()) return false;  // leader done: open
-  const std::uint32_t next_round =
-      (*core.trace)[core.cursor].outer_iter / core.sync->round_iters;
-  const std::uint32_t leader_round =
-      leader.started ? leader.outer_iter / core.sync->round_iters : 0;
+  // gate_next_round is maintained on every cursor move; the leader-round
+  // division reruns only when the leader's progress changed since last asked.
+  const std::uint32_t next_round = core.gate_next_round;
+  if (leader.outer_iter != core.gate_leader_outer_seen ||
+      leader.started != core.gate_leader_started_seen) {
+    core.gate_leader_outer_seen = leader.outer_iter;
+    core.gate_leader_started_seen = leader.started;
+    core.gate_leader_round =
+        leader.started ? leader.outer_iter / core.sync->round_iters : 0;
+  }
   if (!leader.started && next_round == 0) return false;
-  return leader_round < next_round;
+  return core.gate_leader_round < next_round;
 }
 
 SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
@@ -72,13 +93,13 @@ SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
         // moment the leader crossed into the round.
         core.clock = std::max(core.clock, cores_[core.sync->leader].clock);
         core.was_gated = false;
+        core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
       }
       // Order cores by when their next access actually happens (current
-      // clock plus the pending record's compute gap), so shared-structure
-      // mutations occur in global time order.
-      const Cycle next = core.clock + (*core.trace)[core.cursor].compute_gap;
-      if (next < best) {
-        best = next;
+      // clock plus the pending record's compute gap, cached as next_time),
+      // so shared-structure mutations occur in global time order.
+      if (core.next_time < best) {
+        best = core.next_time;
         pick = i;
       }
     }
@@ -123,12 +144,16 @@ void CmpSimulator::step(CoreId id) {
   const TraceRecord& rec = (*core.trace)[core.cursor++];
   core.outer_iter = rec.outer_iter;
   core.started = true;
+  refresh_gate_round(core);
 
   const Cycle start = core.clock + rec.compute_gap;
   if (rec.kind() == AccessKind::kPrefetch) {
     core.clock = software_prefetch(core, id, rec, start);
   } else {
     core.clock = demand_access(core, id, rec, start);
+  }
+  if (core.cursor < core.trace->size()) {
+    core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
   }
 }
 
@@ -216,9 +241,11 @@ Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
     core.metrics.stall_cycles += done - t;
   }
 
-  // L1 fill happens when the data returns; origin tag is per-core.
-  if (auto l1_evicted = core.l1->fill(config_.l1.line_of(rec.addr),
-                                      FillOrigin::kDemand, id, done)) {
+  // L1 fill happens when the data returns; origin tag is per-core. The line
+  // provably missed L1 above and nothing else fills this private L1, so the
+  // already-present probe is skipped.
+  if (auto l1_evicted = core.l1->fill_absent(config_.l1.line_of(rec.addr),
+                                             FillOrigin::kDemand, id, done)) {
     // Private-L1 evictions are not shared-cache pollution; drop them.
     (void)l1_evicted;
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "spf/cache/cache.hpp"
@@ -133,6 +134,42 @@ TEST(CacheTest, ForEachLineVisitsAllValid) {
   std::set<LineAddr> seen;
   c.for_each_line([&](const CacheLine& l) { seen.insert(l.line); });
   EXPECT_EQ(seen, (std::set<LineAddr>{1, 2}));
+}
+
+// Moves transfer the whole state machine: the destination continues exactly
+// where the source left off, and the moved-from cache can be reassigned a
+// fresh Cache and reused (the only supported reuse pattern).
+TEST(CacheTest, MoveTransfersStateAndMovedFromIsReassignable) {
+  Cache src(tiny(), ReplacementKind::kLru);
+  const LineAddr a = line_in_set(0, 0);
+  const LineAddr b = line_in_set(0, 1);
+  EXPECT_FALSE(src.access(a, AccessKind::kRead, 0));
+  src.fill(a, FillOrigin::kHelper, 3, 1);
+  src.fill(b, FillOrigin::kDemand, 0, 2);
+
+  Cache dst = std::move(src);
+  // Contents, metadata, stats, and replacement state all came across.
+  ASSERT_NE(dst.probe(a), nullptr);
+  EXPECT_EQ(dst.probe(a)->origin, FillOrigin::kHelper);
+  EXPECT_EQ(dst.probe(a)->filler_core, 3u);
+  ASSERT_NE(dst.probe(b), nullptr);
+  EXPECT_EQ(dst.stats().fills, 2u);
+  EXPECT_EQ(dst.stats().misses, 1u);
+  EXPECT_EQ(dst.set_occupancy(0), 2u);
+  // LRU continuity: `a` is older than `b`, so the next fill into the full
+  // set evicts `a` — same as it would have in the source.
+  const auto evicted = dst.fill(line_in_set(0, 2), FillOrigin::kDemand, 0, 3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->victim.line, a);
+
+  // Reassigning the moved-from shell yields a fully functional cache.
+  src = Cache(tiny(), ReplacementKind::kFifo);
+  EXPECT_EQ(src.policy(), ReplacementKind::kFifo);
+  EXPECT_EQ(src.stats().lookups, 0u);
+  EXPECT_FALSE(src.access(a, AccessKind::kRead, 0));
+  src.fill(a, FillOrigin::kDemand, 0, 1);
+  EXPECT_TRUE(src.access(a, AccessKind::kRead, 2));
+  EXPECT_EQ(src.set_occupancy(0), 1u);
 }
 
 TEST(LruPolicyTest, EvictsLeastRecentlyTouched) {

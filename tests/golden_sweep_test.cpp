@@ -1,0 +1,106 @@
+// Golden-artifact net for the hot-path data-layout refactors.
+//
+// A pinned 3-workload grid (em3d × mcf × mst, explicit distances, both RP
+// regimes, both helper kinds) is swept at --threads=1 and --threads=8; the
+// aggregated CSV and JSONL artifacts must be byte-identical to the
+// checked-in goldens captured from the pre-refactor simulator. Any change to
+// IR memory, cache/replacement layout, the pollution shadow table, or trace
+// materialization that alters a single simulated event shows up here as a
+// diff — the refactors must be *layout* changes, never *semantics* changes.
+//
+// Regenerate (only when an intentional semantic change lands):
+//   SPF_REGEN_GOLDEN=1 ./test_golden_sweep
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/orchestrate/workload_specs.hpp"
+
+#ifndef SPF_GOLDEN_DIR
+#error "SPF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace spf::orchestrate {
+namespace {
+
+SweepSpec pinned_spec() {
+  Em3dConfig em3d;
+  em3d.nodes = 2000;
+  em3d.arity = 8;
+  em3d.passes = 1;
+  McfConfig mcf;
+  mcf.nodes = 1000;
+  mcf.arcs = 6000;
+  mcf.passes = 2;
+  MstConfig mst;
+  mst.vertices = 400;
+  mst.degree = 8;
+  mst.buckets = 32;
+
+  SweepSpec spec;
+  spec.workloads.push_back(em3d_spec(em3d));
+  spec.workloads.push_back(mcf_spec(mcf));
+  spec.workloads.push_back(mst_spec(mst));
+  spec.distances = {1, 2, 4};
+  spec.rps = {0.5, 1.0};
+  spec.helpers = {HelperKind::kBlockingLoad, HelperKind::kPrefetchInstruction};
+  spec.geometries = {CacheGeometry(64 << 10, 8, 64)};
+  return spec;
+}
+
+std::string golden_path(const char* name) {
+  return std::string(SPF_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << "cannot write golden file " << path;
+  out << content;
+}
+
+TEST(GoldenSweep, PinnedGridMatchesGoldenAtEveryThreadCount) {
+  const SweepSpec spec = pinned_spec();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResult a = run_sweep(spec, serial);
+  ASSERT_EQ(a.cells.size(), 36u);
+  ASSERT_EQ(a.failed_count(), 0u);
+
+  SweepOptions parallel;
+  parallel.threads = 8;
+  const SweepResult b = run_sweep(spec, parallel);
+  ASSERT_EQ(b.failed_count(), 0u);
+
+  const std::string csv = a.to_csv();
+  const std::string jsonl = a.to_jsonl();
+  // Thread count must never leak into the artifacts.
+  EXPECT_EQ(csv, b.to_csv());
+  EXPECT_EQ(jsonl, b.to_jsonl());
+
+  if (std::getenv("SPF_REGEN_GOLDEN") != nullptr) {
+    write_file(golden_path("pinned_sweep.csv"), csv);
+    write_file(golden_path("pinned_sweep.jsonl"), jsonl);
+    GTEST_SKIP() << "goldens regenerated — review and commit the diff";
+  }
+
+  EXPECT_EQ(csv, read_file(golden_path("pinned_sweep.csv")))
+      << "CSV artifact drifted from the pre-refactor golden";
+  EXPECT_EQ(jsonl, read_file(golden_path("pinned_sweep.jsonl")))
+      << "JSONL artifact drifted from the pre-refactor golden";
+}
+
+}  // namespace
+}  // namespace spf::orchestrate

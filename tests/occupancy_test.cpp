@@ -1,0 +1,91 @@
+// Unit tests for the shared-cache occupancy sampler (spf/sim/occupancy.hpp):
+// the provenance split must account for every valid line, and the series
+// statistics must match hand-computed values on known cache states.
+#include <gtest/gtest.h>
+
+#include "spf/cache/cache.hpp"
+#include "spf/sim/occupancy.hpp"
+
+namespace spf {
+namespace {
+
+// 8 sets x 2 ways of 64B lines.
+CacheGeometry geo() { return CacheGeometry(1024, 2, 64); }
+
+TEST(OccupancyTest, EmptyCacheSnapshotsToZero) {
+  Cache c(geo(), ReplacementKind::kLru);
+  const OccupancySample s = snapshot_occupancy(c, 7);
+  EXPECT_EQ(s.when, 7u);
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.unused_prefetch(), 0u);
+}
+
+TEST(OccupancyTest, ProvenanceSplitSumsToValidLines) {
+  Cache c(geo(), ReplacementKind::kLru);
+  // Distinct sets so no evictions: occupancy == fills.
+  c.fill(0, FillOrigin::kDemand, 0, 0);
+  c.fill(1, FillOrigin::kHelper, 1, 1);   // stays unused
+  c.fill(2, FillOrigin::kHelper, 1, 2);   // consumed below
+  c.fill(3, FillOrigin::kHardware, 0, 3); // stays unused
+  c.fill(4, FillOrigin::kHardware, 0, 4); // consumed below
+  c.access(2, AccessKind::kRead, 5);
+  c.access(4, AccessKind::kRead, 6);
+
+  const OccupancySample s = snapshot_occupancy(c, 10);
+  EXPECT_EQ(s.demand_lines, 1u);
+  EXPECT_EQ(s.helper_used, 1u);
+  EXPECT_EQ(s.helper_unused, 1u);
+  EXPECT_EQ(s.hw_used, 1u);
+  EXPECT_EQ(s.hw_unused, 1u);
+
+  std::uint64_t valid = 0;
+  for (std::uint64_t set = 0; set < geo().num_sets(); ++set) {
+    valid += c.set_occupancy(set);
+  }
+  EXPECT_EQ(s.total(), valid);
+  EXPECT_EQ(s.unused_prefetch(), 2u);
+}
+
+TEST(OccupancyTest, PrefetchTouchLeavesLinesUnused) {
+  Cache c(geo(), ReplacementKind::kLru);
+  c.fill(1, FillOrigin::kHelper, 1, 0);
+  c.access(1, AccessKind::kPrefetch, 1);  // not a demand touch
+  const OccupancySample s = snapshot_occupancy(c, 2);
+  EXPECT_EQ(s.helper_unused, 1u);
+  EXPECT_EQ(s.helper_used, 0u);
+}
+
+TEST(OccupancySeriesTest, EmptySeriesStats) {
+  const OccupancySeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.mean_unused_prefetch_fraction(), 0.0);
+  EXPECT_EQ(series.peak_unused_prefetch(), 0u);
+}
+
+TEST(OccupancySeriesTest, MeanFractionOnKnownSamples) {
+  OccupancySeries series;
+  // 2 unused of 8 total = 0.25; 6 unused of 8 = 0.75 -> mean 0.5.
+  series.samples.push_back(OccupancySample{
+      .when = 0, .demand_lines = 6, .helper_unused = 1, .hw_unused = 1});
+  series.samples.push_back(OccupancySample{
+      .when = 1, .demand_lines = 2, .helper_unused = 4, .hw_unused = 2});
+  // An all-empty sample must be skipped, not counted as 0.
+  series.samples.push_back(OccupancySample{.when = 2});
+  EXPECT_DOUBLE_EQ(series.mean_unused_prefetch_fraction(), 0.5);
+  EXPECT_EQ(series.peak_unused_prefetch(), 6u);
+}
+
+TEST(OccupancySeriesTest, MeanFractionFromLiveCacheSnapshots) {
+  Cache c(geo(), ReplacementKind::kLru);
+  c.fill(0, FillOrigin::kDemand, 0, 0);
+  c.fill(1, FillOrigin::kHelper, 1, 1);
+  OccupancySeries series;
+  series.samples.push_back(snapshot_occupancy(c, 0));  // 1 of 2 unused
+  c.access(1, AccessKind::kRead, 2);                   // consume the prefetch
+  series.samples.push_back(snapshot_occupancy(c, 3));  // 0 of 2 unused
+  EXPECT_DOUBLE_EQ(series.mean_unused_prefetch_fraction(), 0.25);
+  EXPECT_EQ(series.peak_unused_prefetch(), 1u);
+}
+
+}  // namespace
+}  // namespace spf

@@ -160,7 +160,7 @@ TEST(Sweep, FailedWorkloadFailsOnlyItsCells) {
   SweepSpec spec = tiny_spec();
   WorkloadSpec bad;
   bad.name = "bad";
-  bad.make = []() -> TraceSource {
+  bad.make = []() -> std::shared_ptr<const TraceSource> {
     throw std::runtime_error("no trace for you");
   };
   spec.workloads.push_back(bad);
@@ -197,9 +197,29 @@ TEST(Sweep, FromSourceReusesTheGivenTrace) {
   TraceSource source{workload.emit_trace(), workload.invocation_starts()};
   const std::size_t records = source.trace.size();
   const WorkloadSpec spec = from_source("em3d-pre", std::move(source));
-  const TraceSource got = spec.make();
-  EXPECT_EQ(got.trace.size(), records);
+  const std::shared_ptr<const TraceSource> got = spec.make();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->trace.size(), records);
   EXPECT_EQ(spec.name, "em3d-pre");
+  // Every make() call hands out the same materialized source, no copies.
+  EXPECT_EQ(spec.make().get(), got.get());
+}
+
+TEST(Sweep, NullTraceSourceFailsTheWorkloadCells) {
+  SweepSpec spec = tiny_spec();
+  WorkloadSpec bad;
+  bad.name = "null";
+  bad.make = []() -> std::shared_ptr<const TraceSource> { return nullptr; };
+  spec.workloads.push_back(bad);
+
+  const SweepResult r = run_sweep(spec, SweepOptions{.threads = 2});
+  EXPECT_EQ(r.failed_count(), r.cells.size() / 2);
+  for (const auto& c : r.cells) {
+    if (c.cell.workload == "null") {
+      EXPECT_FALSE(c.ok);
+      EXPECT_NE(c.error.find("no trace source"), std::string::npos);
+    }
+  }
 }
 
 }  // namespace
