@@ -59,10 +59,10 @@ int main(int argc, char** argv) {
                  : "blocking-load (paper)")
         .add(static_cast<std::uint64_t>(c.cell.distance))
         .add(bound.allows(c.cell.distance) ? "within" : "beyond")
-        .add(c.cmp.norm_runtime(), 3)
-        .add(100.0 * c.cmp.delta_totally_miss(), 2)
-        .add(static_cast<double>(c.cmp.sp.helper_finish) / 1e6, 1)
-        .add(c.cmp.sp.pollution.total_pollution());
+        .add(c.cmp->norm_runtime(), 3)
+        .add(100.0 * c.cmp->delta_totally_miss(), 2)
+        .add(static_cast<double>(c.cmp->sp.helper_finish) / 1e6, 1)
+        .add(c.cmp->sp.pollution.total_pollution());
   }
   bench::emit(t, scale);
 

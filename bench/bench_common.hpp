@@ -25,6 +25,7 @@
 #include "spf/common/csv.hpp"
 #include "spf/core/distance_bound.hpp"
 #include "spf/core/experiment.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/orchestrate/pool.hpp"
 #include "spf/profile/calr.hpp"
 #include "spf/workloads/em3d.hpp"
@@ -206,7 +207,8 @@ inline std::vector<SweepPoint> distance_sweep(
     const Scale& scale, double rp = 0.5) {
   SpExperimentConfig cfg;
   cfg.sim.l2 = scale.l2;
-  const SpRunSummary baseline = run_original(trace, cfg);
+  ExperimentContextPool contexts(orchestrate::resolve_threads(scale.threads));
+  const SpRunSummary baseline = contexts.acquire()->run_original(trace, cfg);
   std::vector<SweepPoint> points(distances.size());
   const auto outcomes = orchestrate::run_indexed(
       distances.size(), scale.threads,
@@ -215,7 +217,7 @@ inline std::vector<SweepPoint> distance_sweep(
         job_cfg.params = SpParams::from_distance_rp(distances[i], rp);
         points[i].distance = distances[i];
         points[i].cmp.original = baseline;
-        points[i].cmp.sp = run_sp_once(trace, job_cfg);
+        points[i].cmp.sp = contexts.acquire()->run_sp_once(trace, job_cfg);
       },
       orchestrate::stderr_progress("  sweep"));
   const std::string error = orchestrate::first_error(outcomes);

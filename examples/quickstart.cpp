@@ -12,7 +12,7 @@
 
 #include "spf/common/cli.hpp"
 #include "spf/core/distance_bound.hpp"
-#include "spf/core/experiment.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/profile/calr.hpp"
 #include "spf/workloads/em3d.hpp"
 
@@ -48,13 +48,17 @@ int main(int argc, char** argv) {
       trace, workload.invocation_starts(), exp.sim.l2);
   std::cout << bound.to_string() << "\n\n";
 
-  // 3+4. Compare a distance inside the bound vs far beyond it.
+  // 3+4. Compare a distance inside the bound vs far beyond it. One
+  // ExperimentContext serves both comparisons: the simulator and helper-trace
+  // scratch are reused between runs (identical results to the free
+  // spf::run_sp_experiment, without re-building the machine each time).
+  spf::ExperimentContext ctx;
   const auto good = static_cast<std::uint32_t>(
       flags.get_int("distance", std::max(1u, bound.upper_limit / 2)));
   const std::uint32_t bad = bound.upper_limit * 6;
   for (std::uint32_t distance : {good, bad}) {
     exp.params = spf::SpParams::from_distance_rp(distance, rp);
-    const spf::SpComparison cmp = spf::run_sp_experiment(trace, exp);
+    const spf::SpComparison cmp = ctx.run_comparison(trace, exp);
     std::printf(
         "distance %5u (%s bound %u): norm_runtime=%.3f  dThit=%+.3f  "
         "dTmiss=%+.3f  dPhit=%+.3f  pollution=%llu\n",

@@ -7,13 +7,29 @@
 namespace spf {
 
 Cache::Cache(const CacheGeometry& geometry, ReplacementKind policy,
-             std::uint64_t seed)
+             std::uint64_t seed, Arena* arena)
     : geometry_(geometry),
       policy_(policy, geometry.num_sets(), geometry.ways(), seed),
-      lines_(geometry.num_sets() * geometry.ways()),
-      tags_(geometry.num_sets() * geometry.ways(), 0),
-      valid_(geometry.num_sets(), 0) {
+      lines_(geometry.num_sets() * geometry.ways(),
+             ArenaAllocator<CacheLine>(arena)),
+      tags_(geometry.num_sets() * geometry.ways(), 0,
+            ArenaAllocator<LineAddr>(arena)),
+      valid_(geometry.num_sets(), 0, ArenaAllocator<std::uint64_t>(arena)) {
   SPF_ASSERT(geometry.ways() <= 64, "validity bitmask holds at most 64 ways");
+}
+
+void Cache::reset_to(const CacheGeometry& geometry, ReplacementKind policy,
+                     std::uint64_t seed) {
+  SPF_ASSERT(geometry.ways() <= 64, "validity bitmask holds at most 64 ways");
+  const std::size_t total = geometry.num_sets() * geometry.ways();
+  geometry_ = geometry;
+  policy_.reset_to(policy, geometry.num_sets(), geometry.ways(), seed);
+  // assign() reuses capacity; a same-shape reset touches no allocator at all
+  // (arena or heap), which is what makes pooled ExperimentContext reuse pay.
+  lines_.assign(total, CacheLine{});
+  tags_.assign(total, 0);
+  valid_.assign(geometry.num_sets(), 0);
+  stats_ = CacheStats{};
 }
 
 std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId core,

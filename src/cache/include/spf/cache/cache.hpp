@@ -15,6 +15,15 @@
 // array is kept alongside (same row-major (set, way) order, `valid` kept in
 // sync with the bitmask) for metadata reads, `probe` pointer stability, and
 // `for_each_line` iteration order.
+//
+// Tag match is vectorized where the ISA allows: the packed per-set tag row is
+// compared 2 (SSE2) or 4 (AVX2) ways per instruction into a match bitmask,
+// ANDed with the set's validity bitmask, and resolved with countr_zero — the
+// same lowest-way-wins order as the scalar scan, so artifacts stay
+// byte-identical. `SPF_NO_SIMD` disables the vector path at compile time;
+// setting the `SPF_FORCE_SCALAR_TAGS` environment variable (any value)
+// disables it at run time so CI can exercise the scalar fallback on SIMD
+// hardware.
 #pragma once
 
 #include <bit>
@@ -24,11 +33,33 @@
 #include <vector>
 
 #include "spf/cache/replacement.hpp"
+#include "spf/common/arena.hpp"
 #include "spf/common/assert.hpp"
+#include "spf/common/simd_match.hpp"
 #include "spf/mem/geometry.hpp"
 #include "spf/mem/types.hpp"
 
 namespace spf {
+
+namespace cache_detail {
+
+constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+
+/// Reference scan: walk the set's validity bits low-to-high and compare tags
+/// one at a time. First (lowest-way) match wins.
+inline std::uint32_t find_way_scalar(const LineAddr* tags,
+                                     std::uint64_t valid_mask,
+                                     LineAddr line) noexcept {
+  std::uint64_t m = valid_mask;
+  while (m != 0) {
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+    if (tags[w] == line) return w;
+    m &= m - 1;
+  }
+  return kNoWay;
+}
+
+}  // namespace cache_detail
 
 /// Metadata carried by each valid cache line.
 struct CacheLine {
@@ -74,8 +105,11 @@ struct CacheStats {
 
 class Cache {
  public:
+  /// `arena`, when non-null, backs the line/tag/validity arrays; it must
+  /// outlive the cache (and every cache moved from it). Null keeps the
+  /// global heap.
   Cache(const CacheGeometry& geometry, ReplacementKind policy,
-        std::uint64_t seed = 0x5eed);
+        std::uint64_t seed = 0x5eed, Arena* arena = nullptr);
 
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
@@ -84,6 +118,14 @@ class Cache {
   // and can be reassigned a fresh Cache before reuse.
   Cache(Cache&&) = default;
   Cache& operator=(Cache&&) = default;
+
+  /// Reinitialize in place to a cold cache of the given shape, as if freshly
+  /// constructed — but reusing existing storage capacity where the new shape
+  /// fits (same-geometry resets allocate nothing). This is the seam
+  /// ExperimentContext uses to replay many configurations without per-run
+  /// construction.
+  void reset_to(const CacheGeometry& geometry, ReplacementKind policy,
+                std::uint64_t seed = 0x5eed);
 
   [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geometry_; }
   [[nodiscard]] ReplacementKind policy() const noexcept { return policy_.kind(); }
@@ -184,6 +226,16 @@ class Cache {
   /// Number of valid lines currently in `set`.
   [[nodiscard]] std::uint32_t set_occupancy(std::uint64_t set) const;
 
+  /// True when this cache resolves tag matches with the vector path (SIMD
+  /// compiled in and not disabled via SPF_FORCE_SCALAR_TAGS).
+  [[nodiscard]] static bool simd_tag_match() noexcept {
+#ifdef SPF_SIMD_MATCH
+    return !simd::force_scalar;
+#else
+    return false;
+#endif
+  }
+
   /// Visit every valid line (diagnostics / inspectors), in row-major
   /// (set, way) order. Templated so visitors inline — no std::function
   /// type erasure on snapshot paths.
@@ -195,27 +247,32 @@ class Cache {
   }
 
  private:
-  static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNoWay = cache_detail::kNoWay;
 
-  /// Way holding `line` in `set`, or kNoWay. Scans only the valid ways via
-  /// the set's bitmask against the packed tag array.
+  template <typename T>
+  using ArenaVec = std::vector<T, ArenaAllocator<T>>;
+
+  /// Way holding `line` in `set`, or kNoWay. Vector compare over the packed
+  /// tag row when available; the validity AND + countr_zero keeps the scalar
+  /// scan's lowest-way-wins order exactly.
   [[nodiscard]] std::uint32_t find_way(std::uint64_t set,
                                        LineAddr line) const noexcept {
     const LineAddr* tags = &tags_[set * geometry_.ways()];
-    std::uint64_t m = valid_[set];
-    while (m != 0) {
-      const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
-      if (tags[w] == line) return w;
-      m &= m - 1;
+#ifdef SPF_SIMD_MATCH
+    if (!simd::force_scalar) {
+      const std::uint64_t m =
+          simd::match_mask_u64(tags, geometry_.ways(), line) & valid_[set];
+      return m != 0 ? static_cast<std::uint32_t>(std::countr_zero(m)) : kNoWay;
     }
-    return kNoWay;
+#endif
+    return cache_detail::find_way_scalar(tags, valid_[set], line);
   }
 
   CacheGeometry geometry_;
   ReplacementState policy_;
-  std::vector<CacheLine> lines_;   // num_sets * ways, row-major by set
-  std::vector<LineAddr> tags_;     // mirror of lines_[i].line, packed
-  std::vector<std::uint64_t> valid_;  // per-set validity bitmask (ways <= 64)
+  ArenaVec<CacheLine> lines_;   // num_sets * ways, row-major by set
+  ArenaVec<LineAddr> tags_;     // mirror of lines_[i].line, packed
+  ArenaVec<std::uint64_t> valid_;  // per-set validity bitmask (ways <= 64)
   CacheStats stats_;
 };
 

@@ -48,6 +48,13 @@ class LruState {
   LruState(std::uint64_t num_sets, std::uint32_t ways)
       : ways_(ways), stamps_(num_sets * ways, 0) {}
 
+  /// As-if-freshly-constructed, reusing stamp storage capacity.
+  void reset(std::uint64_t num_sets, std::uint32_t ways) {
+    ways_ = ways;
+    clock_ = 0;
+    stamps_.assign(num_sets * ways, 0);
+  }
+
   void on_hit(std::uint64_t set, std::uint32_t way) {
     stamps_[set * ways_ + way] = ++clock_;
   }
@@ -83,6 +90,12 @@ class TreePlruState {
   TreePlruState(std::uint64_t num_sets, std::uint32_t ways)
       : ways_(ways), bits_(num_sets * (ways > 1 ? ways - 1 : 1), 0) {
     SPF_ASSERT((ways & (ways - 1)) == 0, "tree-PLRU needs power-of-two ways");
+  }
+
+  void reset(std::uint64_t num_sets, std::uint32_t ways) {
+    SPF_ASSERT((ways & (ways - 1)) == 0, "tree-PLRU needs power-of-two ways");
+    ways_ = ways;
+    bits_.assign(num_sets * (ways > 1 ? ways - 1 : 1), 0);
   }
 
   void on_hit(std::uint64_t set, std::uint32_t way) { touch(set, way); }
@@ -135,6 +148,12 @@ class FifoState {
   FifoState(std::uint64_t num_sets, std::uint32_t ways)
       : ways_(ways), stamps_(num_sets * ways, 0) {}
 
+  void reset(std::uint64_t num_sets, std::uint32_t ways) {
+    ways_ = ways;
+    clock_ = 0;
+    stamps_.assign(num_sets * ways, 0);
+  }
+
   void on_hit(std::uint64_t, std::uint32_t) {}
   void on_fill(std::uint64_t set, std::uint32_t way) {
     stamps_[set * ways_ + way] = ++clock_;
@@ -166,6 +185,11 @@ class RandomState {
   RandomState(std::uint32_t ways, std::uint64_t seed)
       : ways_(ways), rng_(seed) {}
 
+  void reset(std::uint32_t ways, std::uint64_t seed) {
+    ways_ = ways;
+    rng_ = Xoshiro256(seed);
+  }
+
   void on_hit(std::uint64_t, std::uint32_t) {}
   void on_fill(std::uint64_t, std::uint32_t) {}
   [[nodiscard]] std::uint32_t victim(std::uint64_t) {
@@ -187,6 +211,11 @@ class SrripState {
  public:
   SrripState(std::uint64_t num_sets, std::uint32_t ways)
       : ways_(ways), rrpv_(num_sets * ways, kMax) {}
+
+  void reset(std::uint64_t num_sets, std::uint32_t ways) {
+    ways_ = ways;
+    rrpv_.assign(num_sets * ways, kMax);
+  }
 
   void on_hit(std::uint64_t set, std::uint32_t way) {
     rrpv_[set * ways_ + way] = 0;
@@ -229,6 +258,24 @@ class ReplacementState {
  public:
   ReplacementState(ReplacementKind kind, std::uint64_t num_sets,
                    std::uint32_t ways, std::uint64_t seed = 0x5eed);
+
+  /// As-if-freshly-constructed for the given shape. When `kind` matches the
+  /// current alternative the per-policy reset reuses its state vector's
+  /// capacity; a kind change re-emplaces the variant (allocates).
+  void reset_to(ReplacementKind kind, std::uint64_t num_sets,
+                std::uint32_t ways, std::uint64_t seed = 0x5eed) {
+    if (kind != this->kind()) {
+      state_ = make(kind, num_sets, ways, seed);
+      return;
+    }
+    switch (state_.index()) {
+      case 0: std::get_if<0>(&state_)->reset(num_sets, ways); return;
+      case 1: std::get_if<1>(&state_)->reset(num_sets, ways); return;
+      case 2: std::get_if<2>(&state_)->reset(num_sets, ways); return;
+      case 3: std::get_if<3>(&state_)->reset(ways, seed); return;
+      case 4: std::get_if<4>(&state_)->reset(num_sets, ways); return;
+    }
+  }
 
   void on_hit(std::uint64_t set, std::uint32_t way) {
     switch (state_.index()) {

@@ -1,0 +1,124 @@
+// Bump-pointer arena and a std::allocator adapter over it.
+//
+// A sweep cell builds caches, an MSHR file, a pollution shadow and a helper
+// trace, runs one simulation, and throws everything away. Under
+// spf::orchestrate fan-out those construct/teardown bursts all hit the
+// global heap from many threads at once. An Arena turns the burst into one
+// pointer bump per container growth and makes teardown O(1): memory is
+// reclaimed when the arena is destroyed (or release()d), never per object.
+//
+// ArenaAllocator<T> plugs the arena into standard containers. A
+// default-constructed allocator (no arena) degrades to the global heap, so
+// arena-aware types stay usable without one. deallocate() on an arena-backed
+// allocation is a no-op by design — callers that reallocate in a loop should
+// reserve up front or reuse capacity (the simulator's reset paths do).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace spf {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two), growing by a
+  /// fresh chunk when the current one is exhausted. Never returns nullptr.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    Chunk* c = chunks_.empty() ? nullptr : &chunks_.back();
+    std::size_t offset = c ? aligned(c->used, align) : 0;
+    if (c == nullptr || offset + bytes > c->size) {
+      const std::size_t size = bytes + align > chunk_bytes_ ? bytes + align
+                                                            : chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
+      c = &chunks_.back();
+      offset = aligned(reinterpret_cast<std::uintptr_t>(c->data.get()), align) -
+               reinterpret_cast<std::uintptr_t>(c->data.get());
+    }
+    void* p = c->data.get() + offset;
+    c->used = offset + bytes;
+    bytes_served_ += bytes;
+    return p;
+  }
+
+  /// Frees every chunk. Only safe once no object allocated from the arena is
+  /// alive — the reuse paths never call this while containers hold storage.
+  void release() noexcept {
+    chunks_.clear();
+    bytes_served_ = 0;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  /// Total bytes handed out since construction/release (monotone; includes
+  /// storage later abandoned by container growth).
+  [[nodiscard]] std::size_t bytes_served() const noexcept {
+    return bytes_served_;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t aligned(std::size_t v, std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t bytes_served_ = 0;
+};
+
+/// Standard allocator over an Arena; null arena = global heap. Stateful:
+/// containers propagate it on copy/move/swap so arena ownership follows the
+/// storage it manages.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena storage is reclaimed wholesale by the arena, never per block.
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace spf

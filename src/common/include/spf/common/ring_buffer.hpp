@@ -48,6 +48,14 @@ class RingBuffer {
     size_ = 0;
   }
 
+  /// As-if-freshly-constructed with `capacity`, reusing slot storage.
+  void reset(std::size_t capacity) {
+    SPF_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+    slots_.assign(capacity, T{});
+    head_ = 0;
+    size_ = 0;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t head_ = 0;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "spf/common/assert.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/sim/simulator.hpp"
 
 namespace spf {
@@ -70,39 +71,26 @@ std::string SpComparison::to_string() const {
   return out.str();
 }
 
+// The free functions are thin wrappers: a throwaway ExperimentContext per
+// call preserves the pure-function contract while keeping exactly one
+// implementation of each run recipe (in experiment_context.cpp).
+
 SpRunSummary run_original(const TraceBuffer& main_trace,
                           const SpExperimentConfig& config) {
-  SimConfig sim = config.sim;
-  sim.hw_prefetch = config.baseline_hw_prefetch;
-  CmpSimulator simulator(sim);
-  const SimResult result = simulator.run(
-      {CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
-                  .sync = std::nullopt}});
-  return SpRunSummary::from(result);
+  ExperimentContext ctx;
+  return ctx.run_original(main_trace, config);
 }
 
 SpRunSummary run_sp_once(const TraceBuffer& main_trace,
                          const SpExperimentConfig& config) {
-  const TraceBuffer helper_trace =
-      make_helper_trace(main_trace, config.params, config.helper);
-  CmpSimulator simulator(config.sim);
-  const SimResult result = simulator.run({
-      CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
-                 .sync = std::nullopt},
-      CoreStream{.trace = &helper_trace,
-                 .origin = FillOrigin::kHelper,
-                 .sync = RoundSync{.leader = 0,
-                                   .round_iters = config.params.round()}},
-  });
-  return SpRunSummary::from(result);
+  ExperimentContext ctx;
+  return ctx.run_sp_once(main_trace, config);
 }
 
 SpComparison run_sp_experiment(const TraceBuffer& main_trace,
                                const SpExperimentConfig& config) {
-  SpComparison cmp;
-  cmp.original = run_original(main_trace, config);
-  cmp.sp = run_sp_once(main_trace, config);
-  return cmp;
+  ExperimentContext ctx;
+  return ctx.run_comparison(main_trace, config);
 }
 
 }  // namespace spf

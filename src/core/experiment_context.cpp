@@ -1,0 +1,77 @@
+#include "spf/core/experiment_context.hpp"
+
+#include "spf/common/assert.hpp"
+
+namespace spf {
+
+ExperimentContext::ExperimentContext() : simulator_(SimConfig{}, &arena_) {}
+
+SpRunSummary ExperimentContext::run_original(const TraceBuffer& main_trace,
+                                             const SpExperimentConfig& config) {
+  SimConfig sim = config.sim;
+  sim.hw_prefetch = config.baseline_hw_prefetch;
+  const SimResult result = simulator_.run(
+      sim, {CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
+                       .sync = std::nullopt}});
+  return SpRunSummary::from(result);
+}
+
+SpRunSummary ExperimentContext::run_sp_once(const TraceBuffer& main_trace,
+                                            const SpExperimentConfig& config) {
+  make_helper_trace_into(main_trace, config.params, config.helper,
+                         helper_scratch_);
+  const SimResult result = simulator_.run(
+      config.sim,
+      {
+          CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
+                     .sync = std::nullopt},
+          CoreStream{.trace = &helper_scratch_,
+                     .origin = FillOrigin::kHelper,
+                     .sync = RoundSync{.leader = 0,
+                                       .round_iters = config.params.round()}},
+      });
+  return SpRunSummary::from(result);
+}
+
+SpComparison ExperimentContext::run_comparison(const TraceBuffer& main_trace,
+                                               const SpExperimentConfig& config) {
+  SpComparison cmp;
+  cmp.original = run_original(main_trace, config);
+  cmp.sp = run_sp_once(main_trace, config);
+  return cmp;
+}
+
+ExperimentContextPool::ExperimentContextPool(std::size_t capacity)
+    : capacity_(capacity) {
+  SPF_ASSERT(capacity > 0, "context pool needs positive capacity");
+  idle_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    idle_.push_back(std::make_unique<ExperimentContext>());
+  }
+}
+
+ExperimentContextPool::Lease ExperimentContextPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      auto ctx = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(ctx));
+    }
+  }
+  // Oversubscribed: mint a throwaway context rather than block the worker.
+  // pool_ == nullptr makes the lease drop it instead of returning it.
+  return Lease(nullptr, std::make_unique<ExperimentContext>());
+}
+
+std::size_t ExperimentContextPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+void ExperimentContextPool::release(std::unique_ptr<ExperimentContext> ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < capacity_) idle_.push_back(std::move(ctx));
+}
+
+}  // namespace spf

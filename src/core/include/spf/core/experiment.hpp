@@ -9,11 +9,15 @@
 //                normalized runtime.
 //
 // Re-entrancy: all three entry points are pure functions of their arguments —
-// each constructs a private CmpSimulator and touches no global mutable state —
-// so concurrent calls from different threads are safe; a shared TraceBuffer
-// is only ever read. The spf::orchestrate sweep engine relies on this;
-// tests/orchestrate_test.cpp runs under -DSPF_SANITIZE=thread to keep it
-// true.
+// each constructs a private ExperimentContext (simulator + scratch) and
+// touches no global mutable state — so concurrent calls from different
+// threads are safe; a shared TraceBuffer is only ever read. The
+// spf::orchestrate sweep engine relies on this; tests/orchestrate_test.cpp
+// runs under -DSPF_SANITIZE=thread to keep it true.
+//
+// Hot callers that run many experiments should hold a reusable
+// spf::ExperimentContext (spf/core/experiment_context.hpp) instead: identical
+// results, no per-call construction.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,123 @@
+// Reusable experiment execution state.
+//
+// The free functions in spf/core/experiment.hpp are pure: each call builds a
+// private CmpSimulator, synthesizes a fresh helper trace, and tears both down.
+// That is the right *semantic* contract, but under sweep fan-out — thousands
+// of cells per worker — construction cost (cache arrays, helper trace,
+// replacement state) dominates everything except replay itself.
+//
+// ExperimentContext keeps that state alive between runs:
+//
+//   - one CmpSimulator, reconfigured per run via CmpSimulator::run(config,
+//     streams) — cache/MSHR/memory storage is reused, not reallocated;
+//   - one bump Arena backing the simulator's cache arrays (released wholesale
+//     when the context dies, never per cell);
+//   - one helper-trace TraceBuffer scratch, refilled in place by
+//     make_helper_trace_into.
+//
+// Results are bit-identical to the free functions — every reset seam is
+// specified "as-if freshly constructed", and the golden-sweep and replay
+// differential tests pin that equivalence.
+//
+// Re-entrancy: a context is single-threaded (no internal locking). For
+// concurrent sweeps, give each worker its own context — ExperimentContextPool
+// hands out exclusive leases and reuses contexts across cells.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "spf/common/arena.hpp"
+#include "spf/core/experiment.hpp"
+#include "spf/sim/simulator.hpp"
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+class ExperimentContext {
+ public:
+  ExperimentContext();
+
+  // The simulator holds a pointer to arena_, so the context is pinned.
+  ExperimentContext(const ExperimentContext&) = delete;
+  ExperimentContext& operator=(const ExperimentContext&) = delete;
+
+  /// Just the original (baseline) run. Identical to spf::run_original.
+  SpRunSummary run_original(const TraceBuffer& main_trace,
+                            const SpExperimentConfig& config);
+
+  /// Just the SP run (no baseline). Identical to spf::run_sp_once.
+  SpRunSummary run_sp_once(const TraceBuffer& main_trace,
+                           const SpExperimentConfig& config);
+
+  /// Original + SP runs. Identical to spf::run_sp_experiment.
+  SpComparison run_comparison(const TraceBuffer& main_trace,
+                              const SpExperimentConfig& config);
+
+  /// Bytes the simulator's cache arrays have drawn from the context arena
+  /// (monotone; storage is reused, so repeat runs stop growing it).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.bytes_served();
+  }
+
+ private:
+  Arena arena_;
+  CmpSimulator simulator_;
+  TraceBuffer helper_scratch_;
+};
+
+/// Fixed-size pool of contexts for concurrent sweep workers. Lease a context,
+/// run any number of cells with it, return it on destruction:
+///
+///   ExperimentContextPool pool(num_threads);
+///   ...in each worker:  auto lease = pool.acquire();
+///                       lease->run_comparison(trace, cfg);
+///
+/// acquire() never blocks: the pool pre-creates `capacity` contexts and, if
+/// oversubscribed (more simultaneous leases than capacity), mints a fresh
+/// temporary context that dies with its lease.
+class ExperimentContextPool {
+ public:
+  class Lease {
+   public:
+    Lease(ExperimentContextPool* pool, std::unique_ptr<ExperimentContext> ctx)
+        : pool_(pool), ctx_(std::move(ctx)) {}
+    ~Lease() {
+      if (pool_ && ctx_) pool_->release(std::move(ctx_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          ctx_(std::move(other.ctx_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ExperimentContext& operator*() const noexcept { return *ctx_; }
+    ExperimentContext* operator->() const noexcept { return ctx_.get(); }
+
+   private:
+    ExperimentContextPool* pool_;
+    std::unique_ptr<ExperimentContext> ctx_;
+  };
+
+  explicit ExperimentContextPool(std::size_t capacity);
+
+  [[nodiscard]] Lease acquire();
+
+  /// Contexts currently parked in the pool (capacity minus live leases;
+  /// test/introspection hook).
+  [[nodiscard]] std::size_t idle() const;
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<ExperimentContext> ctx);
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ExperimentContext>> idle_;
+};
+
+}  // namespace spf

@@ -42,6 +42,13 @@ struct HelperGenOptions {
                                             const SpParams& params,
                                             const HelperGenOptions& options = {});
 
+/// Allocation-reusing variant: clears `out` and synthesizes the helper
+/// stream into it (ExperimentContext's scratch path). Same output as
+/// make_helper_trace.
+void make_helper_trace_into(const TraceBuffer& main_trace,
+                            const SpParams& params,
+                            const HelperGenOptions& options, TraceBuffer& out);
+
 /// Merges two traces into one stream ordered by outer_iter (stable within an
 /// iteration: records of `a` first). Used to measure "Set Affinity with
 /// Helper Thread" over the combined reference stream of both data access

@@ -45,6 +45,13 @@ class MemoryController {
   [[nodiscard]] const MemoryStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MemoryStats{}; }
 
+  /// As-if-freshly-constructed with `config` (ExperimentContext reuse seam).
+  void reset(const MemoryConfig& config) noexcept {
+    config_ = config;
+    next_start_ = 0;
+    stats_ = MemoryStats{};
+  }
+
   /// Issue a line fetch at time `now`; returns the completion (fill) time.
   /// Monotonic in issue order: each transfer starts no earlier than
   /// `issue_interval` after the previous one started.

@@ -15,10 +15,12 @@
 // what real prefetchers do under MSHR pressure.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "spf/common/simd_match.hpp"
 #include "spf/mem/types.hpp"
 
 namespace spf {
@@ -60,12 +62,12 @@ class MshrFile {
   [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
 
   /// Outstanding entry for `line`, or nullptr. Inline: the file is tiny
-  /// (<=32 entries) and this runs once per L2-visible access.
+  /// (<=32 entries) and this runs once per L2-visible access. The scan runs
+  /// over `lines_`, a packed mirror of entries_[i].line, vector-compared
+  /// where the ISA allows (lines are unique, so any match order agrees).
   [[nodiscard]] const MshrEntry* find(LineAddr line) const noexcept {
-    for (const MshrEntry& e : entries_) {
-      if (e.line == line) return &e;
-    }
-    return nullptr;
+    const std::size_t i = index_of(line);
+    return i == kNotFound ? nullptr : &entries_[i];
   }
 
   /// Allocate a new entry. Returns nullptr when the file is full (counted as
@@ -101,19 +103,46 @@ class MshrFile {
 
   void clear() noexcept {
     entries_.clear();
+    lines_.clear();
     next_completion_ = std::numeric_limits<Cycle>::max();
   }
 
+  /// As-if-freshly-constructed with `capacity`, reusing the entry vector's
+  /// storage (ExperimentContext reuse seam).
+  void reset(std::size_t capacity) noexcept {
+    capacity_ = capacity;
+    clear();
+    stats_ = MshrStats{};
+  }
+
  private:
-  [[nodiscard]] MshrEntry* find_mut(LineAddr line) noexcept {
-    for (MshrEntry& e : entries_) {
-      if (e.line == line) return &e;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  [[nodiscard]] std::size_t index_of(LineAddr line) const noexcept {
+    const std::size_t n = lines_.size();
+#ifdef SPF_SIMD_MATCH
+    if (!simd::force_scalar && n <= 64) {  // mask is 64-bit; big files scan
+      const std::uint64_t m =
+          simd::match_mask_u64(lines_.data(), static_cast<std::uint32_t>(n),
+                               line);
+      return m != 0 ? static_cast<std::size_t>(std::countr_zero(m))
+                    : kNotFound;
     }
-    return nullptr;
+#endif
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lines_[i] == line) return i;
+    }
+    return kNotFound;
+  }
+
+  [[nodiscard]] MshrEntry* find_mut(LineAddr line) noexcept {
+    const std::size_t i = index_of(line);
+    return i == kNotFound ? nullptr : &entries_[i];
   }
 
   std::size_t capacity_;
   std::vector<MshrEntry> entries_;  // small (<=32): linear scan wins
+  std::vector<LineAddr> lines_;     // packed mirror of entries_[i].line
   Cycle next_completion_ = std::numeric_limits<Cycle>::max();
   MshrStats stats_;
 };

@@ -10,6 +10,7 @@ namespace spf {
 MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity) {
   SPF_ASSERT(capacity > 0, "MSHR file needs positive capacity");
   entries_.reserve(capacity);
+  lines_.reserve(capacity);
 }
 
 const MshrEntry* MshrFile::allocate(LineAddr line, Cycle issue, Cycle fill,
@@ -25,6 +26,7 @@ const MshrEntry* MshrFile::allocate(LineAddr line, Cycle issue, Cycle fill,
                                .fill_time = fill,
                                .origin = origin,
                                .core = core});
+  lines_.push_back(line);
   next_completion_ = std::min(next_completion_, fill);
   ++stats_.allocations;
   stats_.peak_occupancy = std::max<std::uint64_t>(stats_.peak_occupancy,
@@ -65,13 +67,17 @@ void MshrFile::drain_completed_into(Cycle now, std::vector<MshrEntry>& out) {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].fill_time > now) {
       next = std::min(next, entries_[i].fill_time);
-      if (keep != i) entries_[keep] = entries_[i];
+      if (keep != i) {
+        entries_[keep] = entries_[i];
+        lines_[keep] = lines_[i];
+      }
       ++keep;
     } else {
       out.push_back(entries_[i]);
     }
   }
   entries_.resize(keep);
+  lines_.resize(keep);
   next_completion_ = next;
   std::sort(out.begin(), out.end(),
             [](const MshrEntry& a, const MshrEntry& b) {

@@ -23,6 +23,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,15 @@ struct SweepSpec {
   bool baseline_hw_prefetch = true;
   /// Compute cycles the helper spends per kept record.
   std::uint16_t helper_compute_gap = 0;
+
+  /// Structural check of the grid description. Returns the empty string when
+  /// the spec can run, otherwise a one-line description of the first problem
+  /// found (empty workloads / rps / geometries / helpers, an RP outside
+  /// (0, 1], a zero-way or zero-line geometry, a duplicate or zero explicit
+  /// distance). run_sweep() calls this and throws std::invalid_argument on a
+  /// non-empty result; CLI drivers call it directly to turn flag mistakes
+  /// into usage errors (exit 2) instead of a mid-sweep crash.
+  [[nodiscard]] std::string validate() const;
 };
 
 struct SweepCell {
@@ -93,7 +103,8 @@ struct CellResult {
   SweepCell cell;
   bool ok = false;
   std::string error;  // failure reason when !ok
-  SpComparison cmp;   // valid only when ok
+  /// Engaged exactly when ok — a failed cell has no numbers to misread.
+  std::optional<SpComparison> cmp;
 };
 
 struct SweepResult {
@@ -120,6 +131,7 @@ struct SweepOptions {
   std::function<void(const SweepCell&)> cell_hook;
 };
 
+/// Throws std::invalid_argument when spec.validate() reports a problem.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
                                     const SweepOptions& opts = {});
 

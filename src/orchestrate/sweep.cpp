@@ -3,9 +3,11 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "spf/common/jsonl.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/core/sp_params.hpp"
 
 namespace spf::orchestrate {
@@ -40,6 +42,38 @@ const char* to_string(HelperKind kind) noexcept {
   return "?";
 }
 
+std::string SweepSpec::validate() const {
+  if (workloads.empty()) return "sweep spec has no workloads";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    if (!workloads[i].make) {
+      return "workload '" + workloads[i].name + "' has no make() function";
+    }
+  }
+  if (rps.empty()) return "sweep spec has no prefetch ratios (rps)";
+  for (const double rp : rps) {
+    if (!(rp > 0.0) || rp > 1.0) {
+      std::ostringstream out;
+      out << "prefetch ratio " << rp << " is outside (0, 1]";
+      return out.str();
+    }
+  }
+  if (geometries.empty()) return "sweep spec has no L2 geometries";
+  for (const CacheGeometry& g : geometries) {
+    if (g.ways() == 0 || g.line_bytes() == 0 || g.num_sets() == 0) {
+      return "geometry " + g.to_string() + " has a zero dimension";
+    }
+  }
+  if (helpers.empty()) return "sweep spec has no helper kinds";
+  std::unordered_set<std::uint32_t> seen;
+  for (const std::uint32_t d : distances) {
+    if (d == 0) return "explicit distance 0 is invalid (A_SKI must be >= 1)";
+    if (!seen.insert(d).second) {
+      return "duplicate explicit distance " + std::to_string(d);
+    }
+  }
+  return "";
+}
+
 WorkloadSpec from_source(std::string name, TraceSource source) {
   WorkloadSpec spec;
   spec.name = std::move(name);
@@ -50,9 +84,16 @@ WorkloadSpec from_source(std::string name, TraceSource source) {
 }
 
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
+  if (const std::string problem = spec.validate(); !problem.empty()) {
+    throw std::invalid_argument("invalid sweep spec: " + problem);
+  }
   const std::size_t n_workloads = spec.workloads.size();
   const std::size_t n_geoms = spec.geometries.size();
   const unsigned threads = resolve_threads(opts.threads);
+  // One reusable simulation context per worker: leased per job, so caches,
+  // MSHR file, arena chunks and the helper-trace scratch survive from cell
+  // to cell instead of being rebuilt thousands of times.
+  ExperimentContextPool contexts(threads);
 
   // Phase 1: materialize each workload's trace (one job per workload). The
   // shared_ptr is the single copy every plane and cell reads from.
@@ -83,7 +124,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         SpExperimentConfig cfg;
         cfg.sim.l2 = spec.geometries[g];
         cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
-        plane.baseline = run_original(src.trace, cfg);
+        plane.baseline = contexts.acquire()->run_original(src.trace, cfg);
       });
 
   // Phase 3: expand the grid in fixed nested order. Cells of a failed plane
@@ -142,8 +183,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
             cell.helper == HelperKind::kPrefetchInstruction;
         cfg.helper.helper_compute_gap = spec.helper_compute_gap;
         cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
-        result.cells[i].cmp.original = planes[p].baseline;
-        result.cells[i].cmp.sp = run_sp_once(src.trace, cfg);
+        SpComparison cmp;
+        cmp.original = planes[p].baseline;
+        cmp.sp = contexts.acquire()->run_sp_once(src.trace, cfg);
+        result.cells[i].cmp = cmp;  // engaged only when the run succeeded
       },
       opts.progress);
 
@@ -182,13 +225,13 @@ Table SweepResult::to_table() const {
     }
     t.add(c.cell.distance < c.cell.bound_upper ? "within" : "beyond")
         .add("ok")
-        .add(c.cmp.norm_runtime(), 3)
-        .add(c.cmp.norm_memory_accesses(), 3)
-        .add(c.cmp.norm_hot_misses(), 3)
-        .add(100.0 * c.cmp.delta_totally_hit(), 2)
-        .add(100.0 * c.cmp.delta_totally_miss(), 2)
-        .add(100.0 * c.cmp.delta_partially_hit(), 2)
-        .add(c.cmp.sp.pollution.total_pollution());
+        .add(c.cmp->norm_runtime(), 3)
+        .add(c.cmp->norm_memory_accesses(), 3)
+        .add(c.cmp->norm_hot_misses(), 3)
+        .add(100.0 * c.cmp->delta_totally_hit(), 2)
+        .add(100.0 * c.cmp->delta_totally_miss(), 2)
+        .add(100.0 * c.cmp->delta_partially_hit(), 2)
+        .add(c.cmp->sp.pollution.total_pollution());
   }
   return t;
 }
@@ -215,16 +258,16 @@ void SweepResult::write_jsonl(std::ostream& out) const {
       out << obj;
       continue;
     }
-    obj.add("norm_runtime", c.cmp.norm_runtime())
-        .add("norm_memory_accesses", c.cmp.norm_memory_accesses())
-        .add("norm_hot_misses", c.cmp.norm_hot_misses())
-        .add("delta_totally_hit", c.cmp.delta_totally_hit())
-        .add("delta_totally_miss", c.cmp.delta_totally_miss())
-        .add("delta_partially_hit", c.cmp.delta_partially_hit())
-        .add("original_runtime", c.cmp.original.runtime)
-        .add("sp_runtime", c.cmp.sp.runtime)
-        .add("helper_finish", c.cmp.sp.helper_finish)
-        .add("pollution_total", c.cmp.sp.pollution.total_pollution());
+    obj.add("norm_runtime", c.cmp->norm_runtime())
+        .add("norm_memory_accesses", c.cmp->norm_memory_accesses())
+        .add("norm_hot_misses", c.cmp->norm_hot_misses())
+        .add("delta_totally_hit", c.cmp->delta_totally_hit())
+        .add("delta_totally_miss", c.cmp->delta_totally_miss())
+        .add("delta_partially_hit", c.cmp->delta_partially_hit())
+        .add("original_runtime", c.cmp->original.runtime)
+        .add("sp_runtime", c.cmp->sp.runtime)
+        .add("helper_finish", c.cmp->sp.helper_finish)
+        .add("pollution_total", c.cmp->sp.pollution.total_pollution());
     out << obj;
   }
 }

@@ -33,6 +33,11 @@ struct SimConfig {
   /// When nonzero, snapshot the shared L2's occupancy composition roughly
   /// every this many cycles (see spf/sim/occupancy.hpp). 0 disables.
   Cycle occupancy_sample_interval = 0;
+  /// Replay runs of consecutive same-core records as one scheduler batch
+  /// (see docs/simulator.md). Produces bit-identical results to the
+  /// record-at-a-time engine — the flag exists so the differential test can
+  /// pin one engine against the other, not as a behaviour knob.
+  bool batched_replay = true;
 };
 
 /// Round-based staggering of a helper core against a leader (main) core:

@@ -59,6 +59,9 @@ class ShadowTable {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
+  /// As-if-freshly-constructed with `capacity`, reusing slot storage.
+  void reset(std::uint32_t capacity);
+
   /// Insert `line`, overwriting the stored origin if already present.
   void insert_or_assign(LineAddr line, FillOrigin origin);
   /// Remove `line` if present; returns true when it was.
@@ -88,6 +91,10 @@ class PollutionTracker {
   /// the per-set damage distribution (the spatial counterpart of per-set
   /// Set Affinity) queryable afterwards.
   PollutionTracker(std::uint32_t shadow_capacity, const CacheGeometry& geometry);
+
+  /// As-if-freshly-constructed, reusing shadow/per-set storage
+  /// (ExperimentContext reuse seam).
+  void reset(std::uint32_t shadow_capacity, const CacheGeometry& geometry);
 
   /// Feed every L2 eviction here.
   void on_eviction(const Eviction& ev);

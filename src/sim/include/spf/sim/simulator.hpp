@@ -12,14 +12,22 @@
 // relationships that matter for the paper's metrics: a fill is usable only
 // after its memory round trip; a second request to an in-flight line merges
 // and waits only the residual latency (partially hit).
+//
+// Two replay engines share every access-processing function and produce
+// bit-identical results:
+//   - record-at-a-time: one scheduler round (pick + gate checks) per record;
+//   - batched (default): one scheduler round per *run* of records that the
+//     round provably keeps on the same core — the batch ends on core switch
+//     (next-access time reaches a rival's), round boundary, helper-sync
+//     progress point, or trace end (see docs/simulator.md).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "spf/cache/cache.hpp"
+#include "spf/common/arena.hpp"
 #include "spf/memsys/memory.hpp"
 #include "spf/mshr/mshr.hpp"
 #include "spf/prefetch/core_prefetchers.hpp"
@@ -43,12 +51,22 @@ struct CoreStream {
 
 class CmpSimulator {
  public:
-  explicit CmpSimulator(const SimConfig& config);
+  /// `arena`, when non-null, backs the cache arrays of every run; it must
+  /// outlive the simulator. ExperimentContext passes its per-context arena
+  /// here so cell construction under sweep fan-out stays off the global heap.
+  explicit CmpSimulator(const SimConfig& config, Arena* arena = nullptr);
 
   /// Runs all streams to completion and returns the metrics. Core i of the
   /// result corresponds to streams[i]. The simulator is reusable: each run
-  /// starts from cold caches.
+  /// starts from cold caches, and repeat runs reuse the previous run's
+  /// storage (no per-run allocation once shapes have been seen).
   SimResult run(const std::vector<CoreStream>& streams);
+
+  /// Reconfigure-and-run, the reuse seam ExperimentContext drives: same
+  /// result as constructing a fresh CmpSimulator(config) and running it.
+  SimResult run(const SimConfig& config, const std::vector<CoreStream>& streams);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
  private:
   struct CoreState {
@@ -60,9 +78,11 @@ class CmpSimulator {
     FillOrigin origin = FillOrigin::kDemand;
     std::optional<RoundSync> sync;
     bool was_gated = false;
-    std::unique_ptr<Cache> l1;
-    /// Per-core hw prefetcher pair, held by value (optional only because
-    /// CoreState must be default-constructible before reset() configures it).
+    /// Private L1, by value (optional only because CoreState must be
+    /// default-constructible before reset() configures it). Kept alive across
+    /// runs so reset_to() can reuse its storage.
+    std::optional<Cache> l1;
+    /// Per-core hw prefetcher pair, held by value (same optional rationale).
     std::optional<CorePrefetchers> prefetcher;
     ThreadMetrics metrics;
     // Scheduler/gating memoization (pure caches of values derivable from the
@@ -82,7 +102,19 @@ class CmpSimulator {
   /// Refresh `core.gate_next_round` from the pending record (call after the
   /// cursor moves).
   void refresh_gate_round(CoreState& core) const;
+  /// One scheduler round per record (reference engine).
+  void run_loop_scalar();
+  /// One scheduler round per same-core batch; requires <= 64 cores.
+  void run_loop_batched();
   void step(CoreId id);
+  /// Process records of core `id` until the scheduler could pick a different
+  /// core: its next-access time reaches limit_lo (rival with a lower id) or
+  /// exceeds limit_hi (rival with a higher id), a gate-relevant progress
+  /// point passes (`leader_sensitive`: some currently-gated core waits on
+  /// this one), the pending record enters a new round of this core's own
+  /// sync, or the trace ends.
+  void step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
+                  bool leader_sensitive);
   /// Demand path for one record; returns the completion time of the access.
   Cycle demand_access(CoreState& core, CoreId id, const TraceRecord& rec,
                       Cycle start);
@@ -96,11 +128,16 @@ class CmpSimulator {
                            bool was_l2_miss, Cycle now);
 
   SimConfig config_;
+  Arena* arena_ = nullptr;
+  /// Grows to the widest stream set ever run, never shrinks: cores_[i].l1
+  /// keeps its storage across runs. Only the first `active_` entries
+  /// participate in the current run.
   std::vector<CoreState> cores_;
-  std::unique_ptr<Cache> l2_;
-  std::unique_ptr<MshrFile> mshr_;
-  std::unique_ptr<MemoryController> memory_;
-  std::unique_ptr<PollutionTracker> pollution_;
+  std::size_t active_ = 0;
+  std::optional<Cache> l2_;
+  std::optional<MshrFile> mshr_;
+  std::optional<MemoryController> memory_;
+  std::optional<PollutionTracker> pollution_;
   std::uint64_t hw_prefetches_issued_ = 0;
   std::vector<LineAddr> pf_scratch_;
   std::vector<MshrEntry> drain_scratch_;

@@ -31,6 +31,12 @@ ShadowTable::ShadowTable(std::uint32_t capacity)
     : slots_(shadow_slot_count(capacity)),
       mask_(slots_.size() - 1) {}
 
+void ShadowTable::reset(std::uint32_t capacity) {
+  slots_.assign(shadow_slot_count(capacity), Slot{});
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+}
+
 void ShadowTable::insert_or_assign(LineAddr line, FillOrigin origin) {
   std::size_t i = home_of(line);
   while (slots_[i].occupied) {
@@ -81,6 +87,15 @@ PollutionTracker::PollutionTracker(std::uint32_t shadow_capacity,
                                    const CacheGeometry& geometry)
     : geometry_(geometry), shadow_order_(shadow_capacity),
       shadow_(shadow_capacity), per_set_(geometry.num_sets(), 0) {}
+
+void PollutionTracker::reset(std::uint32_t shadow_capacity,
+                             const CacheGeometry& geometry) {
+  geometry_ = geometry;
+  stats_ = PollutionStats{};
+  shadow_order_.reset(shadow_capacity);
+  shadow_.reset(shadow_capacity);
+  per_set_.assign(geometry.num_sets(), 0);
+}
 
 void PollutionTracker::attribute(LineAddr line) {
   ++per_set_[geometry_.set_of_line(line)];

@@ -7,35 +7,69 @@
 
 namespace spf {
 
-CmpSimulator::CmpSimulator(const SimConfig& config) : config_(config) {}
+CmpSimulator::CmpSimulator(const SimConfig& config, Arena* arena)
+    : config_(config), arena_(arena) {}
 
 void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
   SPF_ASSERT(!streams.empty(), "simulator needs at least one stream");
-  l2_ = std::make_unique<Cache>(config_.l2, config_.replacement, config_.seed);
-  mshr_ = std::make_unique<MshrFile>(config_.l2_mshrs);
-  memory_ = std::make_unique<MemoryController>(config_.memory);
-  pollution_ =
-      std::make_unique<PollutionTracker>(config_.shadow_capacity, config_.l2);
+  if (l2_) {
+    l2_->reset_to(config_.l2, config_.replacement, config_.seed);
+  } else {
+    l2_.emplace(config_.l2, config_.replacement, config_.seed, arena_);
+  }
+  if (mshr_) {
+    mshr_->reset(config_.l2_mshrs);
+  } else {
+    mshr_.emplace(config_.l2_mshrs);
+  }
+  if (memory_) {
+    memory_->reset(config_.memory);
+  } else {
+    memory_.emplace(config_.memory);
+  }
+  if (pollution_) {
+    pollution_->reset(config_.shadow_capacity, config_.l2);
+  } else {
+    pollution_.emplace(config_.shadow_capacity, config_.l2);
+  }
   hw_prefetches_issued_ = 0;
   occupancy_ = OccupancySeries{};
   next_occupancy_sample_ = config_.occupancy_sample_interval;
 
-  cores_.clear();
-  cores_.resize(streams.size());
-  for (std::size_t i = 0; i < streams.size(); ++i) {
+  // Grow-only: entries beyond the current stream set keep their (idle) L1
+  // storage so a later wider run can reuse it.
+  active_ = streams.size();
+  if (cores_.size() < active_) cores_.resize(active_);
+  for (std::size_t i = 0; i < active_; ++i) {
     CoreState& core = cores_[i];
     SPF_ASSERT(streams[i].trace != nullptr, "core stream without a trace");
     core.trace = streams[i].trace;
+    core.cursor = 0;
+    core.clock = 0;
+    core.outer_iter = 0;
+    core.started = false;
     core.origin = streams[i].origin;
     core.sync = streams[i].sync;
+    core.was_gated = false;
     if (core.sync) {
       SPF_ASSERT(core.sync->leader < streams.size() && core.sync->leader != i,
                  "round sync leader must be another configured core");
       SPF_ASSERT(core.sync->round_iters > 0, "round length must be positive");
     }
-    core.l1 = std::make_unique<Cache>(config_.l1, ReplacementKind::kLru,
-                                      config_.seed + i);
+    if (core.l1) {
+      core.l1->reset_to(config_.l1, ReplacementKind::kLru, config_.seed + i);
+    } else {
+      core.l1.emplace(config_.l1, ReplacementKind::kLru, config_.seed + i,
+                      arena_);
+    }
     core.prefetcher.emplace(config_.l2.line_bytes());
+    core.metrics = ThreadMetrics{};
+    core.next_time = 0;
+    core.gate_next_round = 0;
+    core.gate_next_outer_seen = ~std::uint32_t{0};
+    core.gate_leader_round = 0;
+    core.gate_leader_outer_seen = 0;
+    core.gate_leader_started_seen = false;
     refresh_gate_round(core);
     if (core.cursor < core.trace->size()) {
       core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
@@ -76,11 +110,49 @@ bool CmpSimulator::gated(CoreState& core) const {
 SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
   reset(streams);
 
+  // The batched engine tracks gated-core leaders in a 64-bit mask; wider
+  // topologies (none exist today) take the reference engine.
+  if (config_.batched_replay && active_ <= 64) {
+    run_loop_batched();
+  } else {
+    run_loop_scalar();
+  }
+
+  // Install every still-outstanding fill so final cache state and pollution
+  // accounting reflect all issued traffic.
+  drain_l2(std::numeric_limits<Cycle>::max());
+
+  SimResult result;
+  result.per_core.reserve(active_);
+  for (std::size_t i = 0; i < active_; ++i) {
+    CoreState& core = cores_[i];
+    core.metrics.finish_time = core.clock;
+    result.per_core.push_back(core.metrics);
+    result.makespan = std::max(result.makespan, core.clock);
+  }
+  result.pollution = pollution_->stats();
+  result.l2 = l2_->stats();
+  result.mshr = mshr_->stats();
+  result.memory = memory_->stats();
+  result.hw_prefetches_issued = hw_prefetches_issued_;
+  result.occupancy = std::move(occupancy_);
+  result.polluted_set_count = pollution_->polluted_set_count();
+  result.top_polluted_sets = pollution_->top_polluted_sets(16);
+  return result;
+}
+
+SimResult CmpSimulator::run(const SimConfig& config,
+                            const std::vector<CoreStream>& streams) {
+  config_ = config;
+  return run(streams);
+}
+
+void CmpSimulator::run_loop_scalar() {
   for (;;) {
     CoreId pick = std::numeric_limits<CoreId>::max();
     Cycle best = std::numeric_limits<Cycle>::max();
     bool any_remaining = false;
-    for (CoreId i = 0; i < cores_.size(); ++i) {
+    for (CoreId i = 0; i < active_; ++i) {
       CoreState& core = cores_[i];
       if (core.cursor >= core.trace->size()) continue;
       any_remaining = true;
@@ -108,27 +180,58 @@ SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
                "all remaining cores gated: sync cycle");
     step(pick);
   }
+}
 
-  // Install every still-outstanding fill so final cache state and pollution
-  // accounting reflect all issued traffic.
-  drain_l2(std::numeric_limits<Cycle>::max());
+void CmpSimulator::run_loop_batched() {
+  for (;;) {
+    CoreId pick = std::numeric_limits<CoreId>::max();
+    Cycle best = std::numeric_limits<Cycle>::max();
+    bool any_remaining = false;
+    std::uint64_t gated_leaders = 0;  // leaders some gated core waits on
+    for (CoreId i = 0; i < active_; ++i) {
+      CoreState& core = cores_[i];
+      if (core.cursor >= core.trace->size()) continue;
+      any_remaining = true;
+      if (gated(core)) {
+        core.was_gated = true;
+        gated_leaders |= std::uint64_t{1} << core.sync->leader;
+        continue;
+      }
+      if (core.was_gated) {
+        core.clock = std::max(core.clock, cores_[core.sync->leader].clock);
+        core.was_gated = false;
+        core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+      }
+      if (core.next_time < best) {
+        best = core.next_time;
+        pick = i;
+      }
+    }
+    if (!any_remaining) break;
+    SPF_ASSERT(pick != std::numeric_limits<CoreId>::max(),
+               "all remaining cores gated: sync cycle");
 
-  SimResult result;
-  result.per_core.reserve(cores_.size());
-  for (CoreState& core : cores_) {
-    core.metrics.finish_time = core.clock;
-    result.per_core.push_back(core.metrics);
-    result.makespan = std::max(result.makespan, core.clock);
+    // Freeze the rivals' next-access times: the picked core keeps winning the
+    // round exactly while its own next_time stays strictly below every
+    // lower-id rival (they are visited first, ties go to them) and at or
+    // below every higher-id rival. Gated cores don't compete — and cannot
+    // silently enter the race mid-batch, because the batch breaks at every
+    // progress point of a leader a gated core waits on.
+    Cycle limit_lo = std::numeric_limits<Cycle>::max();
+    Cycle limit_hi = std::numeric_limits<Cycle>::max();
+    for (CoreId i = 0; i < active_; ++i) {
+      if (i == pick) continue;
+      const CoreState& core = cores_[i];
+      if (core.cursor >= core.trace->size() || core.was_gated) continue;
+      if (i < pick) {
+        limit_lo = std::min(limit_lo, core.next_time);
+      } else {
+        limit_hi = std::min(limit_hi, core.next_time);
+      }
+    }
+    const bool leader_sensitive = ((gated_leaders >> pick) & 1) != 0;
+    step_batch(pick, limit_lo, limit_hi, leader_sensitive);
   }
-  result.pollution = pollution_->stats();
-  result.l2 = l2_->stats();
-  result.mshr = mshr_->stats();
-  result.memory = memory_->stats();
-  result.hw_prefetches_issued = hw_prefetches_issued_;
-  result.occupancy = std::move(occupancy_);
-  result.polluted_set_count = pollution_->polluted_set_count();
-  result.top_polluted_sets = pollution_->top_polluted_sets(16);
-  return result;
 }
 
 void CmpSimulator::step(CoreId id) {
@@ -157,6 +260,53 @@ void CmpSimulator::step(CoreId id) {
   }
 }
 
+void CmpSimulator::step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
+                              bool leader_sensitive) {
+  CoreState& core = cores_[id];
+  const TraceBuffer& trace = *core.trace;
+  const std::size_t n = trace.size();
+  const bool self_sync = core.sync.has_value();
+  const bool sampling = config_.occupancy_sample_interval != 0;
+  // Invariant at the top of each iteration: a full scheduler round run now
+  // would pick this core again (the caller's round did for the first record;
+  // the break conditions below re-establish it for every later one).
+  for (;;) {
+    if (sampling && core.clock >= next_occupancy_sample_) {
+      occupancy_.samples.push_back(snapshot_occupancy(*l2_, core.clock));
+      while (next_occupancy_sample_ <= core.clock) {
+        next_occupancy_sample_ += config_.occupancy_sample_interval;
+      }
+    }
+    const TraceRecord& rec = trace[core.cursor++];
+    // A gated follower re-examines this core's progress whenever its outer
+    // iteration advances or it takes its very first record; the batch must
+    // pause at those points so the follower resumes at the same instant the
+    // record-at-a-time engine would release it.
+    const bool gate_event =
+        leader_sensitive &&
+        (!core.started || rec.outer_iter != core.outer_iter);
+    core.outer_iter = rec.outer_iter;
+    core.started = true;
+    if (self_sync) refresh_gate_round(core);
+
+    const Cycle start = core.clock + rec.compute_gap;
+    if (rec.kind() == AccessKind::kPrefetch) {
+      core.clock = software_prefetch(core, id, rec, start);
+    } else {
+      core.clock = demand_access(core, id, rec, start);
+    }
+    if (core.cursor >= n) return;
+    core.next_time = core.clock + trace[core.cursor].compute_gap;
+    if (gate_event) return;
+    if (self_sync && trace[core.cursor].outer_iter != core.outer_iter) {
+      // The pending record may open a new round of this core's own sync:
+      // the scheduler must re-evaluate gated() before it issues.
+      return;
+    }
+    if (core.next_time >= limit_lo || core.next_time > limit_hi) return;
+  }
+}
+
 void CmpSimulator::drain_l2(Cycle now) {
   if (mshr_->next_completion() > now) return;
   mshr_->drain_completed_into(now, drain_scratch_);
@@ -177,13 +327,12 @@ void CmpSimulator::drain_l2(Cycle now) {
 Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
                                   const TraceRecord& rec, Cycle start) {
   ++core.metrics.demand_accesses;
-  const LineAddr line = config_.l2.line_of(rec.addr);
-
   if (core.l1->access(config_.l1.line_of(rec.addr), rec.kind(), start)) {
     ++core.metrics.l1_hits;
     return start + config_.l1_latency;
   }
 
+  const LineAddr line = config_.l2.line_of(rec.addr);
   const Cycle t = start + config_.l1_latency;
   drain_l2(t);
   ++core.metrics.l2_lookups;

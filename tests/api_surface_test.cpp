@@ -6,9 +6,12 @@
 #include "spf/cache/cache.hpp"
 #include "spf/common/csv.hpp"
 #include "spf/core/advisor.hpp"
+#include "spf/core/experiment_context.hpp"
+#include "spf/orchestrate/sweep.hpp"
 #include "spf/prefetch/stream.hpp"
 #include "spf/prefetch/stride.hpp"
 #include "spf/sim/simulator.hpp"
+#include "spf/workloads/em3d.hpp"
 #include "spf/workloads/mcf.hpp"
 
 namespace spf {
@@ -115,6 +118,94 @@ TEST(ApiSurfaceTest, SpRunSummaryFromSimResult) {
   EXPECT_EQ(s.memory_accesses(), 7u);
   EXPECT_EQ(s.helper_finish, 99u);
   EXPECT_EQ(s.memory_requests, 42u);
+}
+
+TEST(ApiSurfaceTest, ExperimentContextMatchesFreeFunctionsAndIsReusable) {
+  Em3dConfig wl;
+  wl.nodes = 1500;
+  wl.arity = 8;
+  wl.passes = 1;
+  const TraceBuffer trace = Em3dWorkload(wl).emit_trace();
+
+  SpExperimentConfig cfg;
+  cfg.sim.l2 = CacheGeometry(64 * 1024, 8, 64);
+  cfg.params = SpParams::from_distance_rp(4, 0.5);
+
+  const SpComparison reference = run_sp_experiment(trace, cfg);
+
+  ExperimentContext ctx;
+  // First use and a reuse of the same context must both reproduce the free
+  // function bit-for-bit (the context only recycles storage, never state).
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE("pass " + std::to_string(pass));
+    const SpComparison got = ctx.run_comparison(trace, cfg);
+    EXPECT_EQ(got.original.runtime, reference.original.runtime);
+    EXPECT_EQ(got.original.totally_misses, reference.original.totally_misses);
+    EXPECT_EQ(got.sp.runtime, reference.sp.runtime);
+    EXPECT_EQ(got.sp.totally_hits, reference.sp.totally_hits);
+    EXPECT_EQ(got.sp.partially_hits, reference.sp.partially_hits);
+    EXPECT_EQ(got.sp.totally_misses, reference.sp.totally_misses);
+    EXPECT_EQ(got.sp.helper_finish, reference.sp.helper_finish);
+    EXPECT_EQ(got.sp.pollution.total_pollution(),
+              reference.sp.pollution.total_pollution());
+  }
+  // Also usable with a different geometry afterwards (reset seam).
+  SpExperimentConfig other = cfg;
+  other.sim.l2 = CacheGeometry(128 * 1024, 16, 64);
+  const SpComparison resized = ctx.run_comparison(trace, other);
+  EXPECT_EQ(resized.original.runtime,
+            run_original(trace, other).runtime);
+  EXPECT_GT(ctx.arena_bytes(), 0u);
+}
+
+TEST(ApiSurfaceTest, ExperimentContextPoolLeases) {
+  ExperimentContextPool pool(2);
+  EXPECT_EQ(pool.idle(), 2u);
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_EQ(pool.idle(), 0u);
+    // Oversubscription mints a temporary rather than blocking.
+    auto c = pool.acquire();
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+TEST(ApiSurfaceTest, SweepSpecValidateRejectsBadGrids) {
+  using orchestrate::SweepSpec;
+  SweepSpec empty;
+  EXPECT_NE(empty.validate().find("no workloads"), std::string::npos);
+
+  SweepSpec spec;
+  spec.workloads.push_back(orchestrate::from_source(
+      "w", orchestrate::TraceSource{}));
+  EXPECT_TRUE(spec.validate().empty()) << spec.validate();
+
+  SweepSpec bad_rp = spec;
+  bad_rp.rps = {1.5};
+  EXPECT_NE(bad_rp.validate().find("outside (0, 1]"), std::string::npos);
+  bad_rp.rps = {0.0};
+  EXPECT_NE(bad_rp.validate().find("outside (0, 1]"), std::string::npos);
+  bad_rp.rps = {};
+  EXPECT_NE(bad_rp.validate().find("no prefetch ratios"), std::string::npos);
+
+  SweepSpec dup = spec;
+  dup.distances = {4, 8, 4};
+  EXPECT_NE(dup.validate().find("duplicate"), std::string::npos);
+  dup.distances = {0};
+  EXPECT_NE(dup.validate().find("distance 0"), std::string::npos);
+
+  SweepSpec no_geom = spec;
+  no_geom.geometries.clear();
+  EXPECT_NE(no_geom.validate().find("no L2 geometries"), std::string::npos);
+
+  SweepSpec no_helper = spec;
+  no_helper.helpers.clear();
+  EXPECT_NE(no_helper.validate().find("no helper kinds"), std::string::npos);
+
+  // run_sweep refuses invalid specs loudly instead of crashing mid-grid.
+  EXPECT_THROW((void)orchestrate::run_sweep(bad_rp), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,14 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <random>
 #include <sstream>
+#include <vector>
 
+#include "spf/common/arena.hpp"
 #include "spf/common/cli.hpp"
 #include "spf/common/csv.hpp"
 #include "spf/common/ring_buffer.hpp"
 #include "spf/common/rng.hpp"
+#include "spf/common/simd_match.hpp"
 #include "spf/common/stats.hpp"
 
 namespace spf {
@@ -232,6 +236,59 @@ TEST(FormatFixedTest, Precision) {
   EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
   EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
 }
+
+TEST(ArenaTest, BumpAllocationIsAlignedAndCounted) {
+  Arena arena(256);
+  EXPECT_EQ(arena.bytes_served(), 0u);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_GE(arena.bytes_served(), 20u);
+  // Bigger than the chunk size: the arena grows a dedicated chunk.
+  void* big = arena.allocate(4096, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+  EXPECT_GE(arena.chunk_count(), 2u);
+  arena.release();
+  EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(ArenaTest, AllocatorBacksVectorsAndFallsBackToHeap) {
+  Arena arena;
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> v{
+      ArenaAllocator<std::uint64_t>(&arena)};
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999u);
+  EXPECT_GT(arena.bytes_served(), 0u);
+
+  // Null arena: plain heap semantics (so default-constructed containers work).
+  std::vector<int, ArenaAllocator<int>> heap_backed;
+  heap_backed.assign(100, 7);
+  EXPECT_EQ(heap_backed[99], 7);
+  EXPECT_FALSE(ArenaAllocator<int>(&arena) == ArenaAllocator<int>(nullptr));
+}
+
+#ifdef SPF_SIMD_MATCH
+TEST(SimdMatchTest, MaskMatchesScalarScan) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.below(64));
+    std::vector<std::uint64_t> vals(n);
+    for (auto& v : vals) v = rng.below(8);  // dense duplicates
+    const std::uint64_t needle = rng.below(8);
+    std::uint64_t expected = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (vals[i] == needle) expected |= std::uint64_t{1} << i;
+    }
+    EXPECT_EQ(simd::match_mask_u64(vals.data(), n, needle), expected)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+#endif  // SPF_SIMD_MATCH
 
 }  // namespace
 }  // namespace spf
