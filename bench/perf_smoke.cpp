@@ -11,7 +11,13 @@
 //                  hot-path work. A single record-at-a-time pass is also
 //                  timed ("replay_scalar_accesses_per_sec") and its runtime
 //                  cross-checked against the batched engine's;
-//   sweep        — a small orchestrated 3-workload grid, in cells/second.
+//   distance_bound_refine — refine_with_helper over the em3d_ir trace, the
+//                  materializing reference vs the streaming TraceCursor
+//                  pipeline (both bounds cross-checked equal); the speedup is
+//                  the acceptance metric for the zero-copy trace work;
+//   sweep        — a small orchestrated 3-workload grid, in cells/second,
+//                  through a shared ExperimentContextPool whose trace-memo
+//                  hit rate is reported alongside.
 //
 // Flags: --quick (CI smoke: small inputs, one reps), --out=PATH (default
 // BENCH_perf.json; "-" or "" = skip the artifact), --reps=N, plus the
@@ -22,6 +28,8 @@
 
 #include "bench_common.hpp"
 #include "spf/common/jsonl.hpp"
+#include "spf/core/distance_bound.hpp"
+#include "spf/core/experiment_context.hpp"
 #include "spf/orchestrate/sweep.hpp"
 #include "spf/orchestrate/workload_specs.hpp"
 #include "spf/workloads/em3d_ir.hpp"
@@ -101,6 +109,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- distance_bound_refine: materialized vs streaming refinement -------
+  // The quick trace is small, so pair it with a small L2 the way the quick
+  // sweep grid does (the Set-Affinity derivation needs saturated sets).
+  const CacheGeometry refine_geo =
+      quick ? CacheGeometry(64 << 10, 8, 64) : scale.l2;
+  const std::vector<std::uint32_t> refine_starts = {0};
+  const DistanceBound base_bound =
+      estimate_distance_bound(trace, refine_starts, refine_geo);
+  const SpParams refine_params = SpParams::from_distance_rp(16, 0.5);
+  double refine_mat_sec = 0.0;
+  double refine_stream_sec = 0.0;
+  std::uint64_t refine_checksum = 0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t_mat = Clock::now();
+    const DistanceBound mat = refine_with_helper(
+        base_bound, trace, refine_starts, refine_params, refine_geo,
+        DistanceBoundOptions{.streaming_refine = false});
+    refine_mat_sec += seconds_since(t_mat);
+
+    const auto t_stream = Clock::now();
+    const DistanceBound stream = refine_with_helper(
+        base_bound, trace, refine_starts, refine_params, refine_geo,
+        DistanceBoundOptions{.streaming_refine = true});
+    refine_stream_sec += seconds_since(t_stream);
+
+    if (mat.upper_limit != stream.upper_limit ||
+        mat.with_helper_min_sa != stream.with_helper_min_sa) {
+      std::cerr << "perf_smoke: refinement mismatch (materialized limit "
+                << mat.upper_limit << " vs streaming " << stream.upper_limit
+                << ")\n";
+      return 1;
+    }
+    refine_checksum ^=
+        stream.upper_limit + stream.with_helper_min_sa.value_or(0);
+  }
+
   // ---- sweep: small orchestrated 3-workload grid -------------------------
   orchestrate::SweepSpec spec;
   Em3dConfig se = em3d_cfg;
@@ -126,6 +170,11 @@ int main(int argc, char** argv) {
   spec.geometries = {sweep_geo};
   orchestrate::SweepOptions opts;
   opts.threads = scale.threads;
+  // A shared pool so the sweep resolves workload traces through the trace
+  // memo — the reported hit rate is the 9-cell grid's re-emission savings.
+  const auto pool = std::make_shared<ExperimentContextPool>(
+      orchestrate::resolve_threads(scale.threads));
+  opts.pool = pool;
   const auto t0 = Clock::now();
   const orchestrate::SweepResult sweep = orchestrate::run_sweep(spec, opts);
   const double sweep_sec = seconds_since(t0);
@@ -142,6 +191,9 @@ int main(int argc, char** argv) {
       scalar_sec > 0 ? static_cast<double>(trace.size()) / scalar_sec : 0;
   const double cells_s =
       sweep_sec > 0 ? static_cast<double>(sweep.cells.size()) / sweep_sec : 0;
+  const double refine_speedup =
+      refine_stream_sec > 0 ? refine_mat_sec / refine_stream_sec : 0;
+  const ExperimentContextPool::TraceMemoStats memo = pool->trace_memo_stats();
 
   JsonObject obj;
   obj.add("bench", "perf_smoke")
@@ -157,10 +209,18 @@ int main(int argc, char** argv) {
       .add("replay_batched", replay_acc_s)
       .add("replay_scalar_accesses_per_sec", replay_scalar_acc_s)
       .add("replay_sec_per_cell", replay_sec / reps)
+      .add("refine_materialized_sec", refine_mat_sec / reps)
+      .add("refine_streaming_sec", refine_stream_sec / reps)
+      .add("distance_bound_refine_speedup", refine_speedup)
+      .add("refine_upper_limit", base_bound.upper_limit)
       .add("sweep_cells", static_cast<std::uint64_t>(sweep.cells.size()))
       .add("sweep_cells_per_sec", cells_s)
       .add("sweep_sec", sweep_sec)
-      .add("replay_checksum", replay_checksum);
+      .add("sweep_trace_memo_hits", memo.hits)
+      .add("sweep_trace_memo_misses", memo.misses)
+      .add("sweep_trace_memo_hit_rate", memo.hit_rate())
+      .add("replay_checksum", replay_checksum)
+      .add("refine_checksum", refine_checksum);
 
   std::cout << obj << std::flush;
   if (!out_path.empty() && out_path != "-") {

@@ -35,19 +35,32 @@ DistanceBound estimate_distance_bound(
 DistanceBound refine_with_helper(
     const DistanceBound& bound, const TraceBuffer& main_trace,
     const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
-    const CacheGeometry& l2) {
-  TraceBuffer helper = make_helper_trace(main_trace, params);
-  // The helper touches a pre-executed iteration's data while the main thread
-  // is still ~A_SKI iterations behind; re-anchor its records to the main-
-  // thread iteration at which they actually hit the shared cache, so the
-  // combined stream reflects the doubled per-set pressure the paper's
+    const CacheGeometry& l2, const DistanceBoundOptions& options) {
+  // The paper's "Set Affinity with Helper Thread" is measured over the
+  // combined reference stream of main thread and helper, with the helper's
+  // records re-anchored to the main-thread iteration at which they actually
+  // hit the shared cache: the helper touches a pre-executed iteration's data
+  // while the main thread is still ~A_SKI iterations behind, so the combined
+  // stream reflects the doubled per-set pressure the
   // "Set Affinity with Helper Thread <= Original/2" formula captures.
-  for (TraceRecord& r : helper.mutable_records()) {
-    r.outer_iter = r.outer_iter >= params.a_ski ? r.outer_iter - params.a_ski : 0;
+  WorkloadSaResult sa;
+  if (options.streaming_refine) {
+    // Zero-copy path: the helper view and the merge are lazy cursor
+    // adaptors; no trace record is ever stored.
+    MergeByIterCursor combined(
+        TraceViewCursor(main_trace),
+        HelperViewCursor(main_trace, params, {}, /*re_anchor=*/true));
+    sa = analyze_workload_sa(combined, invocation_starts, l2);
+  } else {
+    // Reference path: materialize helper and merged streams.
+    TraceBuffer helper = make_helper_trace(main_trace, params);
+    for (TraceRecord& r : helper.mutable_records()) {
+      r.outer_iter =
+          r.outer_iter >= params.a_ski ? r.outer_iter - params.a_ski : 0;
+    }
+    const TraceBuffer combined = merge_traces_by_iter(main_trace, helper);
+    sa = analyze_workload_sa(combined, invocation_starts, l2);
   }
-  const TraceBuffer combined = merge_traces_by_iter(main_trace, helper);
-  const WorkloadSaResult sa =
-      analyze_workload_sa(combined, invocation_starts, l2);
   DistanceBound refined = bound;
   if (sa.merged.any_saturated()) {
     refined.with_helper_min_sa = sa.merged.min_sa();

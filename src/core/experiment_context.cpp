@@ -1,5 +1,8 @@
 #include "spf/core/experiment_context.hpp"
 
+#include <exception>
+#include <stdexcept>
+
 #include "spf/common/assert.hpp"
 
 namespace spf {
@@ -72,6 +75,68 @@ std::size_t ExperimentContextPool::idle() const {
 void ExperimentContextPool::release(std::unique_ptr<ExperimentContext> ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   if (idle_.size() < capacity_) idle_.push_back(std::move(ctx));
+}
+
+std::shared_ptr<const TraceSource> ExperimentContextPool::trace_for(
+    const std::string& key, const TraceEmitFn& emit) {
+  SPF_ASSERT(emit != nullptr, "trace_for needs an emit function");
+  if (key.empty()) {
+    // Unkeyed sources are never memoized (e.g. from_source specs that already
+    // hold a shared materialized trace).
+    auto src = emit();
+    if (src == nullptr) {
+      throw std::runtime_error("trace emitter returned no trace source");
+    }
+    return src;
+  }
+
+  std::promise<std::shared_ptr<const TraceSource>> promise;
+  TraceFuture future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++memo_stats_.hits;
+      future = it->second;
+    } else {
+      ++memo_stats_.misses;
+      owner = true;
+      future = promise.get_future().share();
+      memo_.emplace(key, future);
+    }
+  }
+  if (owner) {
+    // Emission runs outside the lock: other keys proceed concurrently, and
+    // only same-key callers wait on the future.
+    try {
+      auto src = emit();
+      if (src == nullptr) {
+        throw std::runtime_error("trace emitter returned no trace source for '" +
+                                 key + "'");
+      }
+      promise.set_value(std::move(src));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // A failed emission is not cached: later callers may retry (in-flight
+      // waiters still observe this failure through their future copy).
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      memo_.erase(key);
+    }
+  }
+  return future.get();  // rethrows the emission failure for every caller
+}
+
+ExperimentContextPool::TraceMemoStats ExperimentContextPool::trace_memo_stats()
+    const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_stats_;
+}
+
+void ExperimentContextPool::clear_trace_memo() {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  memo_.clear();
+  memo_stats_ = TraceMemoStats{};
 }
 
 }  // namespace spf

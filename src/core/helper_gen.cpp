@@ -50,13 +50,21 @@ TraceBuffer merge_traces_by_iter(const TraceBuffer& a, const TraceBuffer& b) {
   TraceBuffer merged;
   merged.reserve(a.size() + b.size());
   auto& out = merged.mutable_records();
+  const std::span<const TraceRecord> ra = a.records();
+  const std::span<const TraceRecord> rb = b.records();
+  const std::size_t na = ra.size();
+  const std::size_t nb = rb.size();
   std::size_t ia = 0;
   std::size_t ib = 0;
-  while (ia < a.size() || ib < b.size()) {
-    const bool take_a =
-        ib >= b.size() || (ia < a.size() && a[ia].outer_iter <= b[ib].outer_iter);
-    out.push_back(take_a ? a[ia++] : b[ib++]);
+  // Tie-break contract (see helper_gen.hpp): a-side first on equal outer_iter.
+  while (ia < na && ib < nb) {
+    const bool take_a = ra[ia].outer_iter <= rb[ib].outer_iter;
+    out.push_back(take_a ? ra[ia] : rb[ib]);
+    ia += take_a;
+    ib += !take_a;
   }
+  out.insert(out.end(), ra.begin() + static_cast<std::ptrdiff_t>(ia), ra.end());
+  out.insert(out.end(), rb.begin() + static_cast<std::ptrdiff_t>(ib), rb.end());
   return merged;
 }
 

@@ -45,12 +45,23 @@ struct DistanceBound {
     const std::vector<std::uint32_t>& invocation_starts,
     const CacheGeometry& l2);
 
+struct DistanceBoundOptions {
+  /// Stream the helper view and the merged main+helper stream through
+  /// TraceCursor adaptors (HelperViewCursor + MergeByIterCursor): the
+  /// refinement then performs no trace-record allocations. The materializing
+  /// path (make_helper_trace + an explicit re-anchor pass +
+  /// merge_traces_by_iter) remains as the reference implementation — the flag
+  /// exists so the differential harness can pin one path against the other
+  /// (mirroring SimConfig::batched_replay), not as a behaviour knob.
+  bool streaming_refine = true;
+};
+
 /// Refines the bound by measuring Set Affinity with Helper Thread directly:
-/// synthesizes the helper stream for `params`, merges it with the main
-/// stream, and re-analyzes.
+/// synthesizes the helper stream for `params` (lazily by default, see
+/// DistanceBoundOptions), merges it with the main stream, and re-analyzes.
 [[nodiscard]] DistanceBound refine_with_helper(
     const DistanceBound& bound, const TraceBuffer& main_trace,
     const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
-    const CacheGeometry& l2);
+    const CacheGeometry& l2, const DistanceBoundOptions& options = {});
 
 }  // namespace spf

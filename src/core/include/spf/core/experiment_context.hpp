@@ -25,8 +25,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +39,7 @@
 #include "spf/core/experiment.hpp"
 #include "spf/sim/simulator.hpp"
 #include "spf/trace/trace.hpp"
+#include "spf/trace/trace_source.hpp"
 
 namespace spf {
 
@@ -79,6 +85,14 @@ class ExperimentContext {
 /// acquire() never blocks: the pool pre-creates `capacity` contexts and, if
 /// oversubscribed (more simultaneous leases than capacity), mints a fresh
 /// temporary context that dies with its lease.
+///
+/// The pool also owns a *trace memo*: per-workload base traces keyed by an
+/// opaque workload-spec string (see trace_for). Sweep cells — and repeated
+/// sweeps sharing one pool — that use the same workload then fetch the one
+/// immutable emission instead of re-emitting it. The key must encode every
+/// config field that affects the emitted trace; two callers presenting the
+/// same key are promised the same source (docs/simulator.md "Streaming
+/// traces & trace memoization" discusses key collisions).
 class ExperimentContextPool {
  public:
   class Lease {
@@ -111,6 +125,33 @@ class ExperimentContextPool {
   /// test/introspection hook).
   [[nodiscard]] std::size_t idle() const;
 
+  using TraceEmitFn = std::function<std::shared_ptr<const TraceSource>()>;
+
+  struct TraceMemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total != 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                        : 0.0;
+    }
+  };
+
+  /// Returns the memoized trace source for `key`, calling `emit` (outside the
+  /// pool lock) exactly once per key across all threads; concurrent callers
+  /// of the same key wait for the first emission. An empty key bypasses the
+  /// memo (emit runs every call, nothing is counted or stored). A throwing
+  /// emission propagates to every waiter and is erased, so a later call may
+  /// retry. Throws std::runtime_error if `emit` returns nullptr.
+  [[nodiscard]] std::shared_ptr<const TraceSource> trace_for(
+      const std::string& key, const TraceEmitFn& emit);
+
+  [[nodiscard]] TraceMemoStats trace_memo_stats() const;
+
+  /// Drops every memoized trace (and resets the stats) — for long-lived pools
+  /// whose workload set changes, or tests.
+  void clear_trace_memo();
+
  private:
   friend class Lease;
   void release(std::unique_ptr<ExperimentContext> ctx);
@@ -118,6 +159,11 @@ class ExperimentContextPool {
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ExperimentContext>> idle_;
+
+  using TraceFuture = std::shared_future<std::shared_ptr<const TraceSource>>;
+  mutable std::mutex memo_mu_;
+  std::unordered_map<std::string, TraceFuture> memo_;
+  TraceMemoStats memo_stats_;
 };
 
 }  // namespace spf

@@ -17,12 +17,25 @@
 // code whose loads stall it — that is exactly why low-CALR loops need the
 // skip). Optionally delinquent loads become non-binding prefetch
 // instructions instead (ablation: prefetch-instruction helper).
+//
+// Two implementations of the transform exist and are pinned equivalent by
+// tests/trace_cursor_property_test.cpp:
+//
+//   * make_helper_trace / make_helper_trace_into — materialize the helper
+//     stream into a TraceBuffer (the reference implementation);
+//   * HelperViewCursor — a lazy TraceCursor view that applies the same
+//     per-record transform while streaming over the main trace, allocating
+//     no record storage (the distance-bound refinement's fast path, see
+//     spf/core/distance_bound.hpp).
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "spf/common/assert.hpp"
 #include "spf/core/sp_params.hpp"
 #include "spf/trace/trace.hpp"
+#include "spf/trace/trace_cursor.hpp"
 
 namespace spf {
 
@@ -49,11 +62,96 @@ void make_helper_trace_into(const TraceBuffer& main_trace,
                             const SpParams& params,
                             const HelperGenOptions& options, TraceBuffer& out);
 
-/// Merges two traces into one stream ordered by outer_iter (stable within an
-/// iteration: records of `a` first). Used to measure "Set Affinity with
-/// Helper Thread" over the combined reference stream of both data access
-/// entities.
+/// Merges two traces into one stream ordered by outer_iter. Used to measure
+/// "Set Affinity with Helper Thread" over the combined reference stream of
+/// both data access entities.
+///
+/// Tie-break contract (relied on by MergeByIterCursor, which must reproduce
+/// this stream record-for-record without materializing it): at every step the
+/// head of `a` is taken iff `b` is exhausted or `a.outer_iter <= b.outer_iter`
+/// — i.e. on equal outer_iter the `a`-side record is emitted first, and
+/// records of the same input always keep their relative order. For inputs
+/// sorted by outer_iter this is the stable two-way merge of the combined
+/// stream keyed on (outer_iter, input index).
 [[nodiscard]] TraceBuffer merge_traces_by_iter(const TraceBuffer& a,
                                                const TraceBuffer& b);
+
+/// Lazy TraceCursor over the helper thread's access stream: streams the main
+/// trace and applies make_helper_trace's skip/pre-execute transform per
+/// record, storing nothing. Optionally re-anchors kept records to the main-
+/// thread iteration at which they hit the shared cache
+/// (outer_iter -> max(outer_iter - A_SKI, 0)), the transform
+/// refine_with_helper otherwise applies with a mutation pass over a
+/// materialized helper buffer.
+///
+/// The view borrows the main trace's storage; the buffer must outlive the
+/// cursor.
+class HelperViewCursor {
+ public:
+  HelperViewCursor(const TraceBuffer& main_trace, const SpParams& params,
+                   const HelperGenOptions& options = {}, bool re_anchor = false)
+      : records_(main_trace.records()),
+        params_(params),
+        options_(options),
+        re_anchor_(re_anchor) {
+    SPF_ASSERT(params.a_pre > 0,
+               "helper must pre-execute at least one iteration");
+    settle();
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= records_.size(); }
+  [[nodiscard]] const TraceRecord& current() const noexcept { return current_; }
+  void advance() {
+    ++pos_;
+    settle();
+  }
+  void reset() {
+    pos_ = 0;
+    last_outer_ = ~std::uint32_t{0};
+    last_pos_ = 0;
+    settle();
+  }
+
+ private:
+  /// Advances pos_ to the next main-trace record the helper keeps and caches
+  /// its transformed image in current_. Mirrors make_helper_trace_into
+  /// exactly, including the per-iteration round-position memoization.
+  void settle() {
+    const std::uint32_t round = params_.round();
+    for (; pos_ < records_.size(); ++pos_) {
+      const TraceRecord& r = records_[pos_];
+      if (r.kind() == AccessKind::kWrite) continue;  // helper never stores
+      if (r.outer_iter != last_outer_) {
+        last_outer_ = r.outer_iter;
+        last_pos_ = r.outer_iter % round;
+      }
+      const bool pre_execute = last_pos_ >= params_.a_ski;
+      if (!pre_execute && !r.is_spine()) continue;
+
+      AccessKind kind = AccessKind::kRead;
+      if (pre_execute && r.is_delinquent() && options_.use_prefetch_instructions) {
+        kind = AccessKind::kPrefetch;
+      }
+      std::uint32_t outer = r.outer_iter;
+      if (re_anchor_) {
+        outer = outer >= params_.a_ski ? outer - params_.a_ski : 0;
+      }
+      current_ = TraceRecord::make(r.addr, outer, kind, r.site, r.flags(),
+                                   options_.helper_compute_gap);
+      return;
+    }
+  }
+
+  std::span<const TraceRecord> records_;
+  SpParams params_;
+  HelperGenOptions options_;
+  bool re_anchor_ = false;
+  std::size_t pos_ = 0;
+  std::uint32_t last_outer_ = ~std::uint32_t{0};
+  std::uint32_t last_pos_ = 0;
+  TraceRecord current_{};
+};
+
+static_assert(TraceCursor<HelperViewCursor>);
 
 }  // namespace spf

@@ -33,6 +33,11 @@
 #include "spf/mem/geometry.hpp"
 #include "spf/orchestrate/pool.hpp"
 #include "spf/trace/trace.hpp"
+#include "spf/trace/trace_source.hpp"
+
+namespace spf {
+class ExperimentContextPool;
+}  // namespace spf
 
 namespace spf::orchestrate {
 
@@ -44,14 +49,20 @@ enum class HelperKind : std::uint8_t {
 [[nodiscard]] const char* to_string(HelperKind kind) noexcept;
 
 /// A workload's emitted trace plus the invocation boundaries the Set-Affinity
-/// analysis needs.
-struct TraceSource {
-  TraceBuffer trace;
-  std::vector<std::uint32_t> invocation_starts;
-};
+/// analysis needs — now defined at the trace layer (spf/trace/trace_source.hpp)
+/// so the ExperimentContextPool trace memo can share the type.
+using spf::TraceSource;
 
 struct WorkloadSpec {
   std::string name;
+  /// Trace-memoization key. When non-empty, run_sweep fetches the source
+  /// through the experiment-context pool's trace memo
+  /// (ExperimentContextPool::trace_for): the trace is emitted once per key
+  /// and every plane/cell lookup — and every later sweep sharing the pool via
+  /// SweepOptions::pool — reuses it. The key must encode every config field
+  /// that affects the emitted trace (the ready-made specs in
+  /// workload_specs.hpp do); empty disables memoization for this workload.
+  std::string memo_key;
   /// Emits the trace; runs as one job, concurrently with other workloads.
   /// Must be deterministic and must not share mutable state with other specs.
   /// The sweep materializes the result once and shares the immutable source
@@ -129,6 +140,12 @@ struct SweepOptions {
   /// throw marks that cell failed. Seam for fault-injection tests and
   /// cooperative cancellation.
   std::function<void(const SweepCell&)> cell_hook;
+  /// Shared experiment-context pool. When set, run_sweep leases worker
+  /// contexts from it (instead of a private per-sweep pool) and keyed
+  /// workloads resolve through its trace memo — so consecutive sweeps over
+  /// the same workloads stop re-emitting their traces. The pool outlives the
+  /// sweep; results are byte-identical either way.
+  std::shared_ptr<ExperimentContextPool> pool;
 };
 
 /// Throws std::invalid_argument when spec.validate() reports a problem.

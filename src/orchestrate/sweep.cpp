@@ -92,19 +92,35 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
   const unsigned threads = resolve_threads(opts.threads);
   // One reusable simulation context per worker: leased per job, so caches,
   // MSHR file, arena chunks and the helper-trace scratch survive from cell
-  // to cell instead of being rebuilt thousands of times.
-  ExperimentContextPool contexts(threads);
+  // to cell instead of being rebuilt thousands of times. A caller-provided
+  // shared pool additionally carries its trace memo (and warm contexts)
+  // across sweeps.
+  std::shared_ptr<ExperimentContextPool> pool = opts.pool;
+  if (!pool) pool = std::make_shared<ExperimentContextPool>(threads);
+  ExperimentContextPool& contexts = *pool;
 
-  // Phase 1: materialize each workload's trace (one job per workload). The
-  // shared_ptr is the single copy every plane and cell reads from.
+  // Phase 1: resolve each workload's trace (one job per workload). Keyed
+  // workloads go through the pool's memo — emitted at most once per key for
+  // the pool's lifetime; unkeyed ones emit here. Either way the shared_ptr
+  // is the single copy every plane and cell reads from.
   std::vector<std::shared_ptr<const TraceSource>> sources(n_workloads);
   const auto trace_outcomes =
       run_indexed(n_workloads, threads, [&](std::size_t w) {
-        sources[w] = spec.workloads[w].make();
-        if (sources[w] == nullptr) {
-          throw std::runtime_error("make() returned no trace source");
-        }
+        sources[w] =
+            contexts.trace_for(spec.workloads[w].memo_key, spec.workloads[w].make);
       });
+
+  // Planes and cells of a keyed workload re-fetch the source through the
+  // memo — a map lookup against the already-emitted entry — so the memo's
+  // hit statistics count every consumer that skipped a re-emission. Callers
+  // must have verified the workload's phase-1 outcome first (a failed keyed
+  // emission is erased from the memo, and re-fetching it would re-emit).
+  auto source_for = [&](std::size_t w) -> std::shared_ptr<const TraceSource> {
+    const WorkloadSpec& workload = spec.workloads[w];
+    return workload.memo_key.empty()
+               ? sources[w]
+               : contexts.trace_for(workload.memo_key, workload.make);
+  };
 
   // Phase 2: per-plane baseline run + Set-Affinity bound.
   const std::size_t n_planes = n_workloads * n_geoms;
@@ -117,7 +133,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
           throw std::runtime_error("workload '" + spec.workloads[w].name +
                                    "' failed: " + trace_outcomes[w].error);
         }
-        const TraceSource& src = *sources[w];
+        const std::shared_ptr<const TraceSource> src_ptr = source_for(w);
+        const TraceSource& src = *src_ptr;
         Plane& plane = planes[p];
         plane.bound = estimate_distance_bound(src.trace, src.invocation_starts,
                                               spec.geometries[g]);
@@ -175,7 +192,9 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         }
         if (opts.cell_hook) opts.cell_hook(cell);
         const std::size_t p = cell_plane[i];
-        const TraceSource& src = *sources[p / n_geoms];
+        const std::shared_ptr<const TraceSource> src_ptr =
+            source_for(p / n_geoms);
+        const TraceSource& src = *src_ptr;
         SpExperimentConfig cfg;
         cfg.sim.l2 = cell.l2;
         cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);

@@ -1,15 +1,17 @@
 #include "spf/orchestrate/workload_specs.hpp"
 
 #include <memory>
+#include <sstream>
 #include <utility>
 
 namespace spf::orchestrate {
 namespace {
 
 template <typename Workload, typename Config>
-WorkloadSpec spec_for(Config config, std::string name) {
+WorkloadSpec spec_for(Config config, std::string name, std::string memo_key) {
   WorkloadSpec spec;
   spec.name = std::move(name);
+  spec.memo_key = std::move(memo_key);
   spec.make = [config]() {
     const Workload workload(config);
     return std::make_shared<const TraceSource>(
@@ -18,18 +20,49 @@ WorkloadSpec spec_for(Config config, std::string name) {
   return spec;
 }
 
+// Memo keys must cover every config field that affects the emitted trace —
+// and nothing else (notably not the display name): two specs with identical
+// configs share one emission regardless of what they are called. Adding a
+// field to a config struct requires extending its key here (see
+// docs/simulator.md "Streaming traces & trace memoization").
+
+std::string em3d_key(const Em3dConfig& c) {
+  std::ostringstream key;
+  key << "em3d/nodes=" << c.nodes << "/arity=" << c.arity
+      << "/passes=" << c.passes << "/compute=" << c.compute_cycles_per_dep
+      << "/seed=" << c.seed << "/shuffle=" << c.shuffle_placement;
+  return key.str();
+}
+
+std::string mcf_key(const McfConfig& c) {
+  std::ostringstream key;
+  key << "mcf/nodes=" << c.nodes << "/arcs=" << c.arcs
+      << "/passes=" << c.passes << "/update=" << c.update_interval
+      << "/pivots=" << c.pivots_per_pass
+      << "/compute=" << c.compute_cycles_per_arc << "/seed=" << c.seed;
+  return key.str();
+}
+
+std::string mst_key(const MstConfig& c) {
+  std::ostringstream key;
+  key << "mst/vertices=" << c.vertices << "/degree=" << c.degree
+      << "/buckets=" << c.buckets << "/steps=" << c.max_steps
+      << "/compute=" << c.compute_cycles_per_lookup << "/seed=" << c.seed;
+  return key.str();
+}
+
 }  // namespace
 
 WorkloadSpec em3d_spec(const Em3dConfig& config, std::string name) {
-  return spec_for<Em3dWorkload>(config, std::move(name));
+  return spec_for<Em3dWorkload>(config, std::move(name), em3d_key(config));
 }
 
 WorkloadSpec mcf_spec(const McfConfig& config, std::string name) {
-  return spec_for<McfWorkload>(config, std::move(name));
+  return spec_for<McfWorkload>(config, std::move(name), mcf_key(config));
 }
 
 WorkloadSpec mst_spec(const MstConfig& config, std::string name) {
-  return spec_for<MstWorkload>(config, std::move(name));
+  return spec_for<MstWorkload>(config, std::move(name), mst_key(config));
 }
 
 }  // namespace spf::orchestrate

@@ -1,60 +1,12 @@
 #include "spf/profile/invocations.hpp"
 
-#include <algorithm>
-#include <memory>
-
-#include "spf/common/assert.hpp"
 namespace spf {
 
 WorkloadSaResult analyze_workload_sa(
     const TraceBuffer& trace, const std::vector<std::uint32_t>& invocation_starts,
     const CacheGeometry& geometry) {
-  SPF_ASSERT(!invocation_starts.empty() && invocation_starts.front() == 0,
-             "invocation starts must begin at iteration 0");
-  WorkloadSaResult out;
-
-  // Per-invocation pass: a fresh analyzer per invocation, iteration numbers
-  // re-based so SA is "iterations since this call of the hot function".
-  std::size_t inv = 0;
-  auto analyzer = std::make_unique<SetAffinityAnalyzer>(geometry);
-  std::uint32_t base = 0;
-  std::vector<SetAffinityResult> per_invocation;
-  auto close_invocation = [&]() {
-    per_invocation.push_back(analyzer->finish());
-    analyzer = std::make_unique<SetAffinityAnalyzer>(geometry);
-  };
-  for (const TraceRecord& r : trace) {
-    while (inv + 1 < invocation_starts.size() &&
-           r.outer_iter >= invocation_starts[inv + 1]) {
-      close_invocation();
-      ++inv;
-      base = invocation_starts[inv];
-    }
-    analyzer->observe(r.addr, r.outer_iter - base);
-  }
-  close_invocation();
-
-  for (const SetAffinityResult& r : per_invocation) {
-    out.merged.samples.insert(out.merged.samples.end(), r.samples.begin(),
-                              r.samples.end());
-    out.merged.accesses += r.accesses;
-    out.merged.touched_sets = std::max(out.merged.touched_sets, r.touched_sets);
-    out.merged.outer_iterations += r.outer_iterations;
-    for (const auto& [set, sa] : r.per_set) {
-      auto [it, inserted] = out.merged.per_set.emplace(set, sa);
-      if (!inserted) it->second = std::min(it->second, sa);
-    }
-  }
-  out.invocations_analyzed = static_cast<std::uint32_t>(per_invocation.size());
-
-  if (out.merged.samples.empty()) {
-    // No single invocation was long enough to saturate any set: measure over
-    // the cumulative stream instead (documented deviation for short-call hot
-    // functions like MST's BlueRule scan).
-    out.merged = SetAffinityAnalyzer::analyze(trace, geometry);
-    out.cumulative_fallback = true;
-  }
-  return out;
+  TraceViewCursor cursor(trace);
+  return analyze_workload_sa(cursor, invocation_starts, geometry);
 }
 
 }  // namespace spf

@@ -57,6 +57,19 @@ struct TraceRecord {
 
 static_assert(sizeof(TraceRecord) == 16, "trace records are stored raw on disk");
 
+namespace trace_hooks {
+/// Cumulative count of TraceRecord storage growth events (reserve calls that
+/// enlarge a buffer, emits that trigger a reallocation). Test hook: the
+/// streaming refinement paths claim *zero* trace-record allocations, and
+/// tests/trace_stream_differential_test.cpp holds them to it by diffing this
+/// counter around the call. Thread-safe (relaxed atomic).
+[[nodiscard]] std::uint64_t record_allocations() noexcept;
+
+namespace detail {
+void note_record_allocation() noexcept;
+}  // namespace detail
+}  // namespace trace_hooks
+
 /// Growable in-memory trace with an emit API for workload instrumentation.
 class TraceBuffer {
  public:
@@ -64,12 +77,18 @@ class TraceBuffer {
   explicit TraceBuffer(std::vector<TraceRecord> records)
       : records_(std::move(records)) {}
 
-  void reserve(std::size_t n) { records_.reserve(n); }
+  void reserve(std::size_t n) {
+    if (n > records_.capacity()) trace_hooks::detail::note_record_allocation();
+    records_.reserve(n);
+  }
   void clear() noexcept { records_.clear(); }
 
   /// Append one access in outer-loop iteration `outer_iter`.
   void emit(Addr addr, std::uint32_t outer_iter, AccessKind kind,
             std::uint8_t site, TraceFlags flags = 0, std::uint32_t compute_gap = 0) {
+    if (records_.size() == records_.capacity()) {
+      trace_hooks::detail::note_record_allocation();
+    }
     records_.push_back(
         TraceRecord::make(addr, outer_iter, kind, site, flags, compute_gap));
   }

@@ -1,0 +1,130 @@
+// Streaming trace views — cursors over TraceRecord streams.
+//
+// The Set-Affinity machinery only ever needs an *ordered pass* over trace
+// records; materializing derived streams (the helper view, the merged
+// main+helper stream) just to iterate them once is pure copy overhead. A
+// TraceCursor is a forward, resettable, read-only position in a record
+// stream:
+//
+//   done()     — true when the stream is exhausted;
+//   current()  — the record at the cursor (valid only while !done(), and only
+//                until the next advance()/reset(); adaptors may return a
+//                reference to an internal transformed record);
+//   advance()  — step to the next record (precondition: !done());
+//   reset()    — rewind to the first record. Required because the profile
+//                layer's cumulative fallback re-streams the same input
+//                (see analyze_workload_sa).
+//
+// Cursors are cheap value types: copying one copies a position, never
+// records. Adaptors that transform or merge streams (HelperViewCursor in
+// spf/core/helper_gen.hpp, MergeByIterCursor below) compose over cursors so
+// derived streams are computed on the fly with zero trace-record storage —
+// the differential harness (tests/trace_stream_differential_test.cpp) pins
+// every streaming path bit-identical to its materializing reference.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+template <typename C>
+concept TraceCursor = requires(C c, const C cc) {
+  { cc.done() } -> std::convertible_to<bool>;
+  { cc.current() } -> std::same_as<const TraceRecord&>;
+  c.advance();
+  c.reset();
+};
+
+/// Cursor over an in-memory record sequence (a TraceBuffer or any span of
+/// records). Does not own the storage; the underlying buffer must outlive it.
+class TraceViewCursor {
+ public:
+  TraceViewCursor() = default;
+  explicit TraceViewCursor(std::span<const TraceRecord> records) noexcept
+      : records_(records) {}
+  explicit TraceViewCursor(const TraceBuffer& trace) noexcept
+      : records_(trace.records()) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= records_.size(); }
+  [[nodiscard]] const TraceRecord& current() const noexcept {
+    return records_[pos_];
+  }
+  void advance() noexcept { ++pos_; }
+  void reset() noexcept { pos_ = 0; }
+
+ private:
+  std::span<const TraceRecord> records_{};
+  std::size_t pos_ = 0;
+};
+
+static_assert(TraceCursor<TraceViewCursor>);
+
+/// Lazy k-way merge of record streams ordered by outer_iter, the streaming
+/// equivalent of folding merge_traces_by_iter over the inputs: among the
+/// input cursors whose current record has the minimal outer_iter, the
+/// lowest-indexed input wins. For two inputs this is exactly
+/// merge_traces_by_iter's documented a-before-b tie order (see
+/// spf/core/helper_gen.hpp); for k sorted inputs it equals the left fold of
+/// the two-way merge. No records are copied or stored: current() forwards to
+/// the selected input's current().
+template <TraceCursor... Cursors>
+class MergeByIterCursor {
+  static_assert(sizeof...(Cursors) >= 1, "merge needs at least one input");
+
+ public:
+  explicit MergeByIterCursor(Cursors... cursors)
+      : cursors_(std::move(cursors)...) {
+    select();
+  }
+
+  [[nodiscard]] bool done() const noexcept { return current_ == nullptr; }
+  [[nodiscard]] const TraceRecord& current() const noexcept {
+    return *current_;
+  }
+  void advance() {
+    advance_input(active_);
+    select();
+  }
+  void reset() {
+    std::apply([](auto&... c) { (c.reset(), ...); }, cursors_);
+    select();
+  }
+
+ private:
+  template <typename Fn>
+  void for_each_input(Fn&& fn) {
+    std::size_t index = 0;
+    std::apply([&](auto&... cursor) { (fn(index++, cursor), ...); }, cursors_);
+  }
+
+  /// Picks the live input with minimal current().outer_iter; the strict `<`
+  /// keeps the earliest index on ties.
+  void select() {
+    current_ = nullptr;
+    for_each_input([&](std::size_t index, auto& cursor) {
+      if (!cursor.done() && (current_ == nullptr ||
+                             cursor.current().outer_iter < current_->outer_iter)) {
+        current_ = &cursor.current();
+        active_ = index;
+      }
+    });
+  }
+
+  void advance_input(std::size_t which) {
+    for_each_input([&](std::size_t index, auto& cursor) {
+      if (index == which) cursor.advance();
+    });
+  }
+
+  std::tuple<Cursors...> cursors_;
+  const TraceRecord* current_ = nullptr;
+  std::size_t active_ = 0;
+};
+
+}  // namespace spf

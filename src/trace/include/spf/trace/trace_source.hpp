@@ -1,0 +1,21 @@
+// A workload's emitted trace plus the hot-function invocation boundaries the
+// Set-Affinity analysis needs (see spf/profile/invocations.hpp). Lives at the
+// trace layer so both the sweep engine (spf::orchestrate) and the
+// ExperimentContextPool trace memo can share one immutable emission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/trace/trace.hpp"
+
+namespace spf {
+
+struct TraceSource {
+  TraceBuffer trace;
+  /// Cumulative outer-iteration index at which each hot-function invocation
+  /// begins; the first element must be 0.
+  std::vector<std::uint32_t> invocation_starts;
+};
+
+}  // namespace spf

@@ -1,10 +1,27 @@
 #include "spf/trace/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "spf/common/assert.hpp"
 
 namespace spf {
+
+namespace trace_hooks {
+namespace {
+std::atomic<std::uint64_t> g_record_allocations{0};
+}  // namespace
+
+std::uint64_t record_allocations() noexcept {
+  return g_record_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_record_allocation() noexcept {
+  g_record_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+}  // namespace trace_hooks
 
 TraceRecord TraceRecord::make(Addr addr, std::uint32_t outer_iter,
                               AccessKind kind, std::uint8_t site,

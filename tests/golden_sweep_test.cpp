@@ -12,11 +12,13 @@
 //   SPF_REGEN_GOLDEN=1 ./test_golden_sweep
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "spf/core/experiment_context.hpp"
 #include "spf/orchestrate/sweep.hpp"
 #include "spf/orchestrate/workload_specs.hpp"
 
@@ -100,6 +102,49 @@ TEST(GoldenSweep, PinnedGridMatchesGoldenAtEveryThreadCount) {
       << "CSV artifact drifted from the pre-refactor golden";
   EXPECT_EQ(jsonl, read_file(golden_path("pinned_sweep.jsonl")))
       << "JSONL artifact drifted from the pre-refactor golden";
+}
+
+TEST(GoldenSweep, SharedPoolMemoizesTracesWithoutChangingArtifacts) {
+  const SweepSpec spec = pinned_spec();
+  const auto pool = std::make_shared<ExperimentContextPool>(8);
+
+  SweepOptions warm;
+  warm.threads = 8;
+  warm.pool = pool;
+  const SweepResult first = run_sweep(spec, warm);
+  ASSERT_EQ(first.failed_count(), 0u);
+  // Three workloads, each emitted exactly once; every plane and cell after
+  // phase 1 re-fetches through the memo and counts as a hit.
+  EXPECT_EQ(pool->trace_memo_stats().misses, 3u);
+  EXPECT_GT(pool->trace_memo_stats().hits, 0u);
+
+  // A second sweep over the same pool re-emits nothing at all.
+  const SweepResult second = run_sweep(spec, warm);
+  ASSERT_EQ(second.failed_count(), 0u);
+  EXPECT_EQ(pool->trace_memo_stats().misses, 3u);
+
+  // And a serial sweep leasing from the same warm pool agrees byte for byte.
+  SweepOptions serial;
+  serial.threads = 1;
+  serial.pool = pool;
+  const SweepResult third = run_sweep(spec, serial);
+  ASSERT_EQ(third.failed_count(), 0u);
+  EXPECT_EQ(pool->trace_memo_stats().misses, 3u);
+
+  const std::string csv = first.to_csv();
+  const std::string jsonl = first.to_jsonl();
+  EXPECT_EQ(csv, second.to_csv());
+  EXPECT_EQ(jsonl, second.to_jsonl());
+  EXPECT_EQ(csv, third.to_csv());
+  EXPECT_EQ(jsonl, third.to_jsonl());
+
+  if (std::getenv("SPF_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden regeneration handled by the pinned-grid test";
+  }
+  EXPECT_EQ(csv, read_file(golden_path("pinned_sweep.csv")))
+      << "memoized sweep drifted from the golden artifact";
+  EXPECT_EQ(jsonl, read_file(golden_path("pinned_sweep.jsonl")))
+      << "memoized sweep drifted from the golden artifact";
 }
 
 }  // namespace

@@ -1,0 +1,212 @@
+// Property tests for the lazy trace adaptors (spf/trace/trace_cursor.hpp,
+// HelperViewCursor in spf/core/helper_gen.hpp): over randomized traces and
+// SP parameters, every cursor stream must equal its materializing reference
+// record-for-record —
+//
+//   * MergeByIterCursor == merge_traces_by_iter, including the documented
+//     a-before-b tie order (helper_gen.hpp's tie-break contract) and on
+//     inputs that are not sorted by outer_iter (the merge is defined by its
+//     head-comparison rule, not by sortedness);
+//   * three-way MergeByIterCursor == the left fold of two-way merges on
+//     iter-sorted inputs;
+//   * HelperViewCursor == make_helper_trace across randomized SpParams,
+//     covering a_ski = 0, round > trace length, empty traces, prefetch-
+//     instruction helpers, and the a_pre = 0 assertion (both paths die);
+//   * re-anchored HelperViewCursor == the materialized helper after the
+//     refinement's outer_iter -= A_SKI mutation pass;
+//   * reset() replays the identical stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "spf/common/rng.hpp"
+#include "spf/core/helper_gen.hpp"
+#include "spf/core/sp_params.hpp"
+#include "spf/trace/trace.hpp"
+#include "spf/trace/trace_cursor.hpp"
+
+namespace spf {
+namespace {
+
+template <TraceCursor Cursor>
+std::vector<TraceRecord> drain(Cursor& cursor) {
+  std::vector<TraceRecord> out;
+  for (; !cursor.done(); cursor.advance()) out.push_back(cursor.current());
+  return out;
+}
+
+std::vector<TraceRecord> to_vector(const TraceBuffer& trace) {
+  return {trace.begin(), trace.end()};
+}
+
+AccessKind random_kind(Xoshiro256& rng) {
+  switch (rng.below(4)) {
+    case 0: return AccessKind::kWrite;
+    default: return AccessKind::kRead;
+  }
+}
+
+/// Random trace with workload-shaped (non-decreasing, grouped) outer_iters
+/// and a mix of spine/delinquent flags.
+TraceBuffer random_trace(std::uint64_t seed, std::size_t max_records) {
+  Xoshiro256 rng(seed);
+  TraceBuffer t;
+  const std::size_t n = rng.below(max_records + 1);
+  std::uint32_t iter = static_cast<std::uint32_t>(rng.below(4));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.below(3) == 0) iter += static_cast<std::uint32_t>(rng.below(3));
+    TraceFlags flags = 0;
+    if (rng.below(4) == 0) flags |= kFlagSpine;
+    if (rng.below(3) == 0) flags |= kFlagDelinquent;
+    t.emit((rng.next() & 0xffff) * 64, iter, random_kind(rng),
+           static_cast<std::uint8_t>(rng.below(8)), flags,
+           static_cast<std::uint32_t>(rng.below(16)));
+  }
+  return t;
+}
+
+/// Random trace with *arbitrary* (unsorted) outer_iters.
+TraceBuffer random_unsorted_trace(std::uint64_t seed, std::size_t max_records) {
+  Xoshiro256 rng(seed);
+  TraceBuffer t;
+  const std::size_t n = rng.below(max_records + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.emit((rng.next() & 0xffff) * 64, static_cast<std::uint32_t>(rng.below(32)),
+           random_kind(rng), static_cast<std::uint8_t>(rng.below(8)),
+           static_cast<TraceFlags>(rng.below(4)),
+           static_cast<std::uint32_t>(rng.below(16)));
+  }
+  return t;
+}
+
+SpParams random_params(Xoshiro256& rng) {
+  // Biased toward edge shapes: a_ski = 0 and rounds longer than the trace.
+  SpParams p;
+  switch (rng.below(4)) {
+    case 0: p.a_ski = 0; break;
+    case 1: p.a_ski = static_cast<std::uint32_t>(1 + rng.below(4)); break;
+    case 2: p.a_ski = static_cast<std::uint32_t>(1 + rng.below(64)); break;
+    default: p.a_ski = static_cast<std::uint32_t>(1000 + rng.below(100000));
+  }
+  p.a_pre = static_cast<std::uint32_t>(1 + rng.below(8));
+  return p;
+}
+
+class MergePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergePropertyTest, TwoWayCursorEqualsMaterializedMerge) {
+  const TraceBuffer a = random_trace(GetParam() * 2 + 1, 200);
+  const TraceBuffer b = random_trace(GetParam() * 2 + 2, 200);
+  const TraceBuffer merged = merge_traces_by_iter(a, b);
+
+  MergeByIterCursor cursor{TraceViewCursor(a), TraceViewCursor(b)};
+  EXPECT_EQ(drain(cursor), to_vector(merged));
+}
+
+TEST_P(MergePropertyTest, UnsortedInputsStillMatchTheHeadComparisonRule) {
+  const TraceBuffer a = random_unsorted_trace(GetParam() * 3 + 1, 150);
+  const TraceBuffer b = random_unsorted_trace(GetParam() * 3 + 2, 150);
+  const TraceBuffer merged = merge_traces_by_iter(a, b);
+
+  MergeByIterCursor cursor{TraceViewCursor(a), TraceViewCursor(b)};
+  EXPECT_EQ(drain(cursor), to_vector(merged));
+}
+
+TEST_P(MergePropertyTest, ThreeWayCursorEqualsFoldedTwoWayMerge) {
+  const TraceBuffer a = random_trace(GetParam() * 5 + 1, 120);
+  const TraceBuffer b = random_trace(GetParam() * 5 + 2, 120);
+  const TraceBuffer c = random_trace(GetParam() * 5 + 3, 120);
+  const TraceBuffer folded =
+      merge_traces_by_iter(merge_traces_by_iter(a, b), c);
+
+  MergeByIterCursor cursor{TraceViewCursor(a), TraceViewCursor(b),
+                           TraceViewCursor(c)};
+  EXPECT_EQ(drain(cursor), to_vector(folded));
+}
+
+TEST_P(MergePropertyTest, ResetReplaysTheSameStream) {
+  const TraceBuffer a = random_trace(GetParam() * 7 + 1, 100);
+  const TraceBuffer b = random_trace(GetParam() * 7 + 2, 100);
+  MergeByIterCursor cursor{TraceViewCursor(a), TraceViewCursor(b)};
+  const std::vector<TraceRecord> first = drain(cursor);
+  cursor.reset();
+  EXPECT_EQ(drain(cursor), first);
+}
+
+class HelperViewPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HelperViewPropertyTest, CursorEqualsMaterializedHelper) {
+  Xoshiro256 rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  const TraceBuffer main_trace = random_trace(GetParam(), 300);
+  for (int round = 0; round < 8; ++round) {
+    const SpParams params = random_params(rng);
+    HelperGenOptions options;
+    options.use_prefetch_instructions = rng.below(2) == 1;
+    options.helper_compute_gap = static_cast<std::uint16_t>(rng.below(8));
+    SCOPED_TRACE(params.to_string());
+
+    const TraceBuffer helper = make_helper_trace(main_trace, params, options);
+    HelperViewCursor cursor(main_trace, params, options);
+    EXPECT_EQ(drain(cursor), to_vector(helper));
+
+    cursor.reset();
+    EXPECT_EQ(drain(cursor), to_vector(helper));
+  }
+}
+
+TEST_P(HelperViewPropertyTest, ReanchoredCursorEqualsMutatedHelper) {
+  Xoshiro256 rng(GetParam() ^ 0x5851f42d4c957f2dull);
+  const TraceBuffer main_trace = random_trace(GetParam() + 1000, 300);
+  for (int round = 0; round < 8; ++round) {
+    const SpParams params = random_params(rng);
+    SCOPED_TRACE(params.to_string());
+
+    // The refinement's materialized transform: helper, then re-anchor.
+    TraceBuffer helper = make_helper_trace(main_trace, params);
+    for (TraceRecord& r : helper.mutable_records()) {
+      r.outer_iter =
+          r.outer_iter >= params.a_ski ? r.outer_iter - params.a_ski : 0;
+    }
+
+    HelperViewCursor cursor(main_trace, params, {}, /*re_anchor=*/true);
+    EXPECT_EQ(drain(cursor), to_vector(helper));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+INSTANTIATE_TEST_SUITE_P(Seeds, HelperViewPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(HelperViewEdgeTest, EmptyTraceYieldsEmptyView) {
+  const TraceBuffer empty;
+  HelperViewCursor cursor(empty, SpParams{.a_ski = 2, .a_pre = 2});
+  EXPECT_TRUE(cursor.done());
+  cursor.reset();
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(HelperViewEdgeTest, SkipOnlyRoundsKeepOnlySpine) {
+  TraceBuffer t;
+  t.emit(0, 0, AccessKind::kRead, 0, kFlagSpine);
+  t.emit(64, 0, AccessKind::kRead, 1);
+  t.emit(128, 1, AccessKind::kRead, 2);
+  // Round of 9 over 2 iterations: every record is in the skip phase.
+  HelperViewCursor cursor(t, SpParams{.a_ski = 8, .a_pre = 1});
+  const std::vector<TraceRecord> kept = drain(cursor);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].addr, 0u);
+  EXPECT_TRUE(kept[0].is_spine());
+}
+
+TEST(HelperViewDeathTest, ZeroPreExecuteDiesLikeTheReference) {
+  const TraceBuffer t = random_trace(1, 10);
+  const SpParams params{.a_ski = 3, .a_pre = 0};
+  EXPECT_DEATH((void)make_helper_trace(t, params), "pre-execute");
+  EXPECT_DEATH(HelperViewCursor(t, params), "pre-execute");
+}
+
+}  // namespace
+}  // namespace spf
