@@ -9,16 +9,25 @@
 //   --threads=<n>      parallel sweep fan-out via spf::orchestrate
 //                      (default 0 = hardware concurrency; 1 = legacy serial)
 //   --csv              emit CSV instead of the aligned table
+//
+// Drivers that construct a bench::TelemetrySink additionally accept:
+//   --metrics-out=PATH deterministic JSONL metrics dump (spf::telemetry)
+//   --trace-out=PATH   Chrome trace-event / Perfetto timeline with one lane
+//                      per sweep worker (open in chrome://tracing or
+//                      https://ui.perfetto.dev; see docs/telemetry.md)
 #pragma once
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spf/common/cli.hpp"
@@ -28,6 +37,7 @@
 #include "spf/core/experiment_context.hpp"
 #include "spf/orchestrate/pool.hpp"
 #include "spf/profile/calr.hpp"
+#include "spf/telemetry/telemetry.hpp"
 #include "spf/workloads/em3d.hpp"
 #include "spf/workloads/mcf.hpp"
 #include "spf/workloads/mst.hpp"
@@ -55,6 +65,7 @@ struct Scale {
   std::cerr << msg
             << "\nusage: common flags are --scale=ci|paper --l2=<bytes> "
                "--assoc=<ways> --line=<bytes> --threads=<n> --csv "
+               "--metrics-out=<path> --trace-out=<path> "
                "(see the header comment of each driver for its own flags)\n";
   std::exit(2);
 }
@@ -224,6 +235,65 @@ inline std::vector<SweepPoint> distance_sweep(
   if (!error.empty()) throw std::runtime_error("distance sweep: " + error);
   return points;
 }
+
+/// Routes the --metrics-out= / --trace-out= flags: when either is set, owns
+/// a telemetry::Session sized one lane per sweep worker (plus the main lane),
+/// installs it for the driver's lifetime, and writes the artifacts on flush()
+/// / destruction. Construct *before* fail_on_unknown_flags — constructing the
+/// sink is what consumes the flags, so drivers that don't build one reject
+/// them as unknown (exit 2) instead of silently ignoring a requested
+/// artifact. Output files open eagerly: a bad path fails in milliseconds,
+/// not after the last sweep cell.
+class TelemetrySink {
+ public:
+  TelemetrySink(const CliFlags& flags, const Scale& scale, std::string process)
+      : process_(std::move(process)) {
+    metrics_path_ = flags.get("metrics-out", "");
+    trace_path_ = flags.get("trace-out", "");
+    if (metrics_path_.empty() && trace_path_.empty()) return;
+    if (!metrics_path_.empty()) {
+      metrics_.open(metrics_path_);
+      if (!metrics_) {
+        std::cerr << "cannot open " << metrics_path_ << "\n";
+        std::exit(1);
+      }
+    }
+    if (!trace_path_.empty()) {
+      trace_.open(trace_path_);
+      if (!trace_) {
+        std::cerr << "cannot open " << trace_path_ << "\n";
+        std::exit(1);
+      }
+    }
+    session_ = std::make_unique<telemetry::Session>(
+        orchestrate::resolve_threads(scale.threads) + 1);
+    previous_ = telemetry::install(session_.get());
+  }
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+  ~TelemetrySink() { flush(); }
+
+  /// nullptr when neither flag was given (telemetry stays off).
+  [[nodiscard]] telemetry::Session* session() noexcept { return session_.get(); }
+
+  /// Uninstalls the session and writes the requested artifacts (idempotent).
+  void flush() {
+    if (!session_) return;
+    telemetry::install(previous_);
+    if (metrics_.is_open()) session_->write_metrics_jsonl(metrics_);
+    if (trace_.is_open()) session_->write_chrome_trace(trace_, process_);
+    session_.reset();
+  }
+
+ private:
+  std::string process_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::ofstream metrics_;
+  std::ofstream trace_;
+  std::unique_ptr<telemetry::Session> session_;
+  telemetry::Session* previous_ = nullptr;
+};
 
 /// Distances spanning both sides of the pollution bound, paper-figure style.
 inline std::vector<std::uint32_t> distances_around(std::uint32_t bound) {

@@ -17,11 +17,16 @@
 //                  the acceptance metric for the zero-copy trace work;
 //   sweep        — a small orchestrated 3-workload grid, in cells/second,
 //                  through a shared ExperimentContextPool whose trace-memo
-//                  hit rate is reported alongside.
+//                  hit rate is reported alongside;
+//   telemetry    — the same grid replayed memo-warm with the spf::telemetry
+//                  session uninstalled vs installed (min over reps of each);
+//                  the off/on delta is the subsystem's measured overhead and
+//                  all three sweeps' artifacts are cross-checked identical.
 //
 // Flags: --quick (CI smoke: small inputs, one reps), --out=PATH (default
-// BENCH_perf.json; "-" or "" = skip the artifact), --reps=N, plus the
-// standard bench_common knobs (--l2/--assoc/--line/--threads/--scale/--csv).
+// BENCH_perf.json; "-" or "" = skip the artifact), --reps=N,
+// --metrics-out=/--trace-out= (telemetry artifacts), plus the standard
+// bench_common knobs (--l2/--assoc/--line/--threads/--scale/--csv).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   const auto reps =
       static_cast<unsigned>(bench::require_uint(flags, "reps", quick ? 1 : 3));
   const std::string out_path = flags.get("out", "BENCH_perf.json");
+  bench::TelemetrySink telemetry_sink(flags, scale, "perf_smoke");
   bench::fail_on_unknown_flags(flags);
 
   Em3dConfig em3d_cfg = bench::em3d_config(scale);
@@ -183,6 +189,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- telemetry overhead: the same grid, memo-warm, off vs on -----------
+  // The sweep above already emitted every workload trace into the shared
+  // pool, so both measured variants replay memo-warm and differ only in
+  // whether a telemetry session is recording. min over reps on each side
+  // filters scheduler noise; the delta is the subsystem's runtime cost.
+  telemetry::Session ab_session(orchestrate::resolve_threads(scale.threads) + 1);
+  telemetry::Session* on_session =
+      telemetry_sink.session() != nullptr ? telemetry_sink.session() : &ab_session;
+  double sweep_off_sec = 0.0;
+  double sweep_on_sec = 0.0;
+  std::string sweep_csv = sweep.to_csv();
+  for (unsigned r = 0; r < reps; ++r) {
+    telemetry::Session* prev = telemetry::install(nullptr);
+    auto t_off = Clock::now();
+    const orchestrate::SweepResult off = orchestrate::run_sweep(spec, opts);
+    const double off_sec = seconds_since(t_off);
+    telemetry::install(on_session);
+    auto t_on = Clock::now();
+    const orchestrate::SweepResult on = orchestrate::run_sweep(spec, opts);
+    const double on_sec = seconds_since(t_on);
+    telemetry::install(prev);
+    if (off.failed_count() != 0 || on.failed_count() != 0) {
+      std::cerr << "perf_smoke: telemetry A/B sweep cells failed\n";
+      return 1;
+    }
+    // Recording must never leak into the artifact bytes.
+    if (off.to_csv() != sweep_csv || on.to_csv() != sweep_csv) {
+      std::cerr << "perf_smoke: sweep artifact changed under telemetry\n";
+      return 1;
+    }
+    if (r == 0 || off_sec < sweep_off_sec) sweep_off_sec = off_sec;
+    if (r == 0 || on_sec < sweep_on_sec) sweep_on_sec = on_sec;
+  }
+  const double telemetry_overhead_pct =
+      sweep_off_sec > 0 ? 100.0 * (sweep_on_sec - sweep_off_sec) / sweep_off_sec
+                        : 0.0;
+
   const double materialize_ops_s =
       materialize_sec > 0 ? static_cast<double>(ir_ops) / materialize_sec : 0;
   const double replay_acc_s =
@@ -219,6 +262,10 @@ int main(int argc, char** argv) {
       .add("sweep_trace_memo_hits", memo.hits)
       .add("sweep_trace_memo_misses", memo.misses)
       .add("sweep_trace_memo_hit_rate", memo.hit_rate())
+      .add("sweep_telemetry_off_sec", sweep_off_sec)
+      .add("sweep_telemetry_on_sec", sweep_on_sec)
+      .add("telemetry_overhead_pct", telemetry_overhead_pct)
+      .add("telemetry_compiled", SPF_TELEMETRY != 0)
       .add("replay_checksum", replay_checksum)
       .add("refine_checksum", refine_checksum);
 

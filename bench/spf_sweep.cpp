@@ -16,6 +16,10 @@
 //   --helpers=blocking,prefetch  helper kinds (default blocking)
 //   --jsonl=PATH               also write a JSONL artifact (- = stdout)
 //   --threads=N                0 = hardware concurrency, 1 = serial
+//   --metrics-out=PATH         telemetry metrics dump (JSONL)
+//   --trace-out=PATH           Perfetto/chrome://tracing timeline: one lane
+//                              per worker, one slice per cell with
+//                              replay/refine/memo child slices
 //   --scale=paper, --l2=, --assoc=, --line=, --csv   as in every bench binary
 #include <fstream>
 #include <iostream>
@@ -104,6 +108,10 @@ int main(int argc, char** argv) {
     }
   }
   const std::string jsonl_path = flags.get("jsonl", "");
+  // Constructed before the unknown-flag check: the sink consumes
+  // --metrics-out=/--trace-out= and installs the telemetry session the sweep
+  // records into. Artifacts are written when it goes out of scope.
+  bench::TelemetrySink telemetry_sink(flags, scale, "spf_sweep");
   bench::fail_on_unknown_flags(flags);
 
   // Every structural flag mistake funnels through the spec's own validator,

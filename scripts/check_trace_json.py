@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event timeline emitted by spf::telemetry.
+
+Usage: check_trace_json.py TRACE.json [TRACE.json ...]
+
+Checks, per file:
+  * the file parses as the trace-event "JSON Object Format"
+    ({"traceEvents": [...]}) that chrome://tracing and Perfetto load;
+  * every event carries the required keys for its phase ("M" metadata,
+    "X" complete slices, or paired "B"/"E" duration events);
+  * per (pid, tid) lane, slice begin timestamps are monotone non-decreasing
+    (spf lanes push spans at begin time, so export order == begin order);
+  * slices on one lane nest properly: a slice starting inside an enclosing
+    slice must also end inside it (no partial overlap — Perfetto would
+    render such a timeline misleadingly);
+  * "B"/"E" events, if present, match up per lane like balanced parentheses;
+  * every lane that has slices also has a thread_name metadata record.
+
+Exit status: 0 = all files valid, 1 = any violation (details on stderr).
+No third-party imports — runs on a bare python3.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not loadable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, 'missing top-level "traceEvents" object key')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, '"traceEvents" is not an array')
+
+    ok = True
+    named_lanes = set()  # lanes with thread_name metadata
+    slice_lanes = {}  # (pid, tid) -> list of (ts, dur, name) in file order
+    open_stacks = {}  # (pid, tid) -> stack of "B" event names
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            ok = fail(path, f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph is None:
+            ok = fail(path, f'{where}: missing "ph"')
+            continue
+        lane = (ev.get("pid"), ev.get("tid"))
+
+        if ph == "M":
+            if "name" not in ev:
+                ok = fail(path, f'{where}: metadata event missing "name"')
+            elif ev["name"] == "thread_name":
+                args = ev.get("args", {})
+                if not isinstance(args, dict) or "name" not in args:
+                    ok = fail(path, f"{where}: thread_name without args.name")
+                else:
+                    named_lanes.add(lane)
+        elif ph == "X":
+            missing = [k for k in ("pid", "tid", "name", "ts", "dur") if k not in ev]
+            if missing:
+                ok = fail(path, f"{where}: X slice missing {missing}")
+                continue
+            if not isinstance(ev["ts"], (int, float)) or not isinstance(
+                ev["dur"], (int, float)
+            ):
+                ok = fail(path, f"{where}: ts/dur must be numbers")
+                continue
+            if ev["dur"] < 0:
+                ok = fail(path, f"{where}: negative dur {ev['dur']}")
+                continue
+            slice_lanes.setdefault(lane, []).append(
+                (float(ev["ts"]), float(ev["dur"]), str(ev["name"]), i)
+            )
+        elif ph == "B":
+            open_stacks.setdefault(lane, []).append(str(ev.get("name")))
+        elif ph == "E":
+            stack = open_stacks.setdefault(lane, [])
+            if not stack:
+                ok = fail(path, f'{where}: "E" with no matching "B" on lane {lane}')
+            else:
+                stack.pop()
+        # Other phases (instant, counter, flow...) are legal trace-event
+        # content; spf does not emit them, but their presence is not an error.
+
+    for lane, stack in open_stacks.items():
+        if stack:
+            ok = fail(path, f'lane {lane}: unmatched "B" events left open: {stack}')
+
+    for lane, slices in slice_lanes.items():
+        if lane not in named_lanes:
+            ok = fail(path, f"lane {lane}: slices but no thread_name metadata")
+        # Monotone begin order per lane.
+        prev_ts = None
+        for ts, _dur, name, idx in slices:
+            if prev_ts is not None and ts < prev_ts:
+                ok = fail(
+                    path,
+                    f"lane {lane}: traceEvents[{idx}] '{name}' begins at {ts} "
+                    f"before the previous slice's {prev_ts} — not monotone",
+                )
+            prev_ts = ts
+        # Proper nesting: sweep a stack of open intervals in begin order.
+        stack = []  # (end, name)
+        for ts, dur, name, idx in slices:
+            while stack and ts >= stack[-1][0]:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0]:
+                ok = fail(
+                    path,
+                    f"lane {lane}: traceEvents[{idx}] '{name}' "
+                    f"[{ts}, {ts + dur}] straddles the end of enclosing "
+                    f"'{stack[-1][1]}' at {stack[-1][0]}",
+                )
+            stack.append((ts + dur, name))
+
+    if ok:
+        n_slices = sum(len(s) for s in slice_lanes.values())
+        print(f"{path}: OK ({len(slice_lanes)} lanes, {n_slices} slices)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_ok = True
+    for path in argv[1:]:
+        all_ok = check_file(path) and all_ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

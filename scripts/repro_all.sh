@@ -39,17 +39,45 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
+# Accumulate this run's perf record — including the telemetry off/on delta
+# perf_smoke measures (telemetry_overhead_pct) — into the git-ignored local
+# history, one compact JSONL line per reproduction run, so hot-path drift is
+# visible across runs on the same machine.
+if [ -f BENCH_perf.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import datetime
+import json
+
+with open("BENCH_perf.json") as f:
+    rec = json.load(f)
+rec["recorded_at"] = datetime.datetime.now(datetime.timezone.utc).isoformat(
+    timespec="seconds")
+with open("BENCH_history.jsonl", "a") as f:
+    f.write(json.dumps(rec, sort_keys=True) + "\n")
+print("appended BENCH_perf.json -> BENCH_history.jsonl")
+EOF
+fi
+
 # The full cross-product in one orchestrated run: every workload × a ladder
 # of distances around each plane's bound × both RP regimes, JSONL artifact
-# alongside the table.
+# alongside the table — plus the telemetry artifacts: a deterministic metrics
+# dump and a Perfetto-loadable per-worker timeline of the whole sweep (open
+# sweep_trace.json in https://ui.perfetto.dev; see docs/telemetry.md).
 {
   echo "=============================================================="
   echo "== build/bench/spf_sweep --workloads=em3d,mcf,mst --rps=0.5,1.0" \
        "--threads=$THREADS"
   echo "=============================================================="
   build/bench/spf_sweep --workloads=em3d,mcf,mst --rps=0.5,1.0 \
-    --threads="$THREADS" --jsonl=sweep_results.jsonl
+    --threads="$THREADS" --jsonl=sweep_results.jsonl \
+    --metrics-out=sweep_metrics.jsonl --trace-out=sweep_trace.json
 } 2>&1 | tee -a bench_output.txt
+
+# Sanity-check the emitted timeline when python3 is around (same validator
+# ctest runs against the perf_smoke artifact).
+if [ -f sweep_trace.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace_json.py sweep_trace.json
+fi
 
 if [[ "${1:-}" == "--paper" ]]; then
   {

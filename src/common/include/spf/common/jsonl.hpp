@@ -22,6 +22,9 @@ class JsonObject {
   JsonObject& add(const std::string& key, double value);
   JsonObject& add(const std::string& key, bool value);
   JsonObject& add_null(const std::string& key);
+  /// Splices `raw_json` in verbatim — the caller guarantees it is valid JSON
+  /// (nested objects/arrays, e.g. trace-event "args"). No escaping applied.
+  JsonObject& add_raw(const std::string& key, const std::string& raw_json);
 
   /// The object as one line: {"k":v,...} — no trailing newline.
   [[nodiscard]] std::string line() const;

@@ -83,6 +83,13 @@ JsonObject& JsonObject::add(const std::string& key, bool value) {
   return *this;
 }
 
+JsonObject& JsonObject::add_raw(const std::string& key,
+                                const std::string& raw_json) {
+  append_key(key);
+  body_ += raw_json;
+  return *this;
+}
+
 JsonObject& JsonObject::add_null(const std::string& key) {
   append_key(key);
   body_ += "null";

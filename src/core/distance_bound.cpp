@@ -6,6 +6,7 @@
 #include "spf/common/assert.hpp"
 #include "spf/core/helper_gen.hpp"
 #include "spf/profile/invocations.hpp"
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf {
 
@@ -21,6 +22,8 @@ DistanceBound estimate_distance_bound(
     const TraceBuffer& main_trace,
     const std::vector<std::uint32_t>& invocation_starts,
     const CacheGeometry& l2) {
+  SPF_SPAN("distance-bound");
+  telemetry::count(telemetry::Counter::kDistanceBounds);
   const WorkloadSaResult sa =
       analyze_workload_sa(main_trace, invocation_starts, l2);
   SPF_ASSERT(sa.merged.any_saturated(),
@@ -36,6 +39,8 @@ DistanceBound refine_with_helper(
     const DistanceBound& bound, const TraceBuffer& main_trace,
     const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
     const CacheGeometry& l2, const DistanceBoundOptions& options) {
+  SPF_SPAN("refine");
+  telemetry::count(telemetry::Counter::kRefineRuns);
   // The paper's "Set Affinity with Helper Thread" is measured over the
   // combined reference stream of main thread and helper, with the helper's
   // records re-anchored to the main-thread iteration at which they actually

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "spf/common/assert.hpp"
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf {
 
@@ -11,18 +12,29 @@ ExperimentContext::ExperimentContext() : simulator_(SimConfig{}, &arena_) {}
 
 SpRunSummary ExperimentContext::run_original(const TraceBuffer& main_trace,
                                              const SpExperimentConfig& config) {
+  SPF_SPAN("replay");
+  telemetry::count(telemetry::Counter::kBaselineRuns);
+  telemetry::count(telemetry::Counter::kReplayRecords, main_trace.size());
   SimConfig sim = config.sim;
   sim.hw_prefetch = config.baseline_hw_prefetch;
   const SimResult result = simulator_.run(
       sim, {CoreStream{.trace = &main_trace, .origin = FillOrigin::kDemand,
                        .sync = std::nullopt}});
+  telemetry::gauge_max(telemetry::Gauge::kArenaBytesMax, arena_.bytes_served());
   return SpRunSummary::from(result);
 }
 
 SpRunSummary ExperimentContext::run_sp_once(const TraceBuffer& main_trace,
                                             const SpExperimentConfig& config) {
-  make_helper_trace_into(main_trace, config.params, config.helper,
-                         helper_scratch_);
+  SPF_SPAN("replay");
+  telemetry::count(telemetry::Counter::kReplayRuns);
+  telemetry::count(telemetry::Counter::kReplayRecords, main_trace.size());
+  {
+    SPF_SPAN("helper-gen");
+    make_helper_trace_into(main_trace, config.params, config.helper,
+                           helper_scratch_);
+  }
+  telemetry::count(telemetry::Counter::kHelperRecords, helper_scratch_.size());
   const SimResult result = simulator_.run(
       config.sim,
       {
@@ -33,6 +45,7 @@ SpRunSummary ExperimentContext::run_sp_once(const TraceBuffer& main_trace,
                      .sync = RoundSync{.leader = 0,
                                        .round_iters = config.params.round()}},
       });
+  telemetry::gauge_max(telemetry::Gauge::kArenaBytesMax, arena_.bytes_served());
   return SpRunSummary::from(result);
 }
 
@@ -83,10 +96,13 @@ std::shared_ptr<const TraceSource> ExperimentContextPool::trace_for(
   if (key.empty()) {
     // Unkeyed sources are never memoized (e.g. from_source specs that already
     // hold a shared materialized trace).
+    SPF_SPAN("trace-emit");
+    telemetry::count(telemetry::Counter::kTraceEmissions);
     auto src = emit();
     if (src == nullptr) {
       throw std::runtime_error("trace emitter returned no trace source");
     }
+    telemetry::gauge_max(telemetry::Gauge::kTraceRecordsMax, src->trace.size());
     return src;
   }
 
@@ -109,12 +125,17 @@ std::shared_ptr<const TraceSource> ExperimentContextPool::trace_for(
   if (owner) {
     // Emission runs outside the lock: other keys proceed concurrently, and
     // only same-key callers wait on the future.
+    SPF_SPAN("trace-emit");
+    telemetry::count(telemetry::Counter::kTraceEmissions);
+    telemetry::count(telemetry::Counter::kTraceMemoMisses);
     try {
       auto src = emit();
       if (src == nullptr) {
         throw std::runtime_error("trace emitter returned no trace source for '" +
                                  key + "'");
       }
+      telemetry::gauge_max(telemetry::Gauge::kTraceRecordsMax,
+                           src->trace.size());
       promise.set_value(std::move(src));
     } catch (...) {
       promise.set_exception(std::current_exception());
@@ -123,7 +144,13 @@ std::shared_ptr<const TraceSource> ExperimentContextPool::trace_for(
       std::lock_guard<std::mutex> lock(memo_mu_);
       memo_.erase(key);
     }
+    return future.get();
   }
+  // Memo hit: a short slice per consumer makes re-emission savings visible
+  // on the sweep timeline (the wait on a still-emitting future shows up as
+  // the slice's duration).
+  telemetry::count(telemetry::Counter::kTraceMemoHits);
+  SPF_SPAN("memo-hit");
   return future.get();  // rethrows the emission failure for every caller
 }
 

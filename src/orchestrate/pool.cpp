@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf::orchestrate {
 namespace {
@@ -53,7 +56,12 @@ std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
   std::mutex progress_mutex;
   std::size_t done = 0;  // guarded by progress_mutex; keeps reports monotone
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t lane_id) {
+    // Worker w records into telemetry lane w + 1 for the whole drain (lane 0
+    // belongs to the thread that installed the session) — so the exported
+    // timeline shows one lane per run_indexed worker, stable across the
+    // sweep's phases. A no-op when no session is installed.
+    const telemetry::LaneScope lane(lane_id);
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
@@ -70,7 +78,7 @@ std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
   std::vector<std::thread> pool;
   pool.reserve(n_workers);
   try {
-    for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+    for (std::size_t w = 0; w < n_workers; ++w) pool.emplace_back(worker, w + 1);
   } catch (...) {
     // Thread creation failed mid-spawn (resource exhaustion): park the
     // cursor past the end so started workers drain and exit, join them,
@@ -84,8 +92,20 @@ std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
 }
 
 ProgressFn stderr_progress(std::string label) {
-  return [label = std::move(label)](std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "\r%s %zu/%zu", label.c_str(), done, total);
+  // Throughput comes from the telemetry steady clock, measured from when the
+  // reporter was created (= just before the sweep starts in every driver).
+  // The reporter is serialized under the progress mutex, so the shared clock
+  // read needs no extra synchronization.
+  auto start = std::make_shared<telemetry::Clock>(telemetry::Clock::Mode::kSteady);
+  return [label = std::move(label),
+          start = std::move(start)](std::size_t done, std::size_t total) {
+    const double sec = start->seconds();
+    if (sec > 0.0) {
+      std::fprintf(stderr, "\r%s %zu/%zu (%.2f/s)", label.c_str(), done, total,
+                   static_cast<double>(done) / sec);
+    } else {
+      std::fprintf(stderr, "\r%s %zu/%zu", label.c_str(), done, total);
+    }
     if (done == total) std::fprintf(stderr, "\n");
     std::fflush(stderr);
   };

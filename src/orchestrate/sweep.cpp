@@ -9,6 +9,7 @@
 #include "spf/common/jsonl.hpp"
 #include "spf/core/experiment_context.hpp"
 #include "spf/core/sp_params.hpp"
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf::orchestrate {
 namespace {
@@ -106,6 +107,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
   std::vector<std::shared_ptr<const TraceSource>> sources(n_workloads);
   const auto trace_outcomes =
       run_indexed(n_workloads, threads, [&](std::size_t w) {
+        SPF_SPAN("trace-materialize", "workload", w);
         sources[w] =
             contexts.trace_for(spec.workloads[w].memo_key, spec.workloads[w].make);
       });
@@ -127,6 +129,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
   std::vector<Plane> planes(n_planes);
   const auto plane_outcomes = run_indexed(
       n_planes, threads, [&](std::size_t p) {
+        SPF_SPAN("plane", "plane", p);
         const std::size_t w = p / n_geoms;
         const std::size_t g = p % n_geoms;
         if (!trace_outcomes[w].ok) {
@@ -187,6 +190,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
       cells.size(), threads,
       [&](std::size_t i) {
         const SweepCell& cell = cells[i];
+        SPF_SPAN("cell", "id", cell.id);
         if (!cell_inherited[i].empty()) {
           throw std::runtime_error(cell_inherited[i]);
         }
@@ -209,11 +213,17 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
       },
       opts.progress);
 
+  std::size_t failed = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     result.cells[i].cell = cells[i];
     result.cells[i].ok = cell_outcomes[i].ok;
     result.cells[i].error = cell_outcomes[i].error;
+    if (!cell_outcomes[i].ok) ++failed;
   }
+  // Counted once on the caller's lane after the joins — deterministic totals
+  // regardless of which worker ran which cell.
+  telemetry::count(telemetry::Counter::kSweepCells, cells.size() - failed);
+  telemetry::count(telemetry::Counter::kSweepCellsFailed, failed);
   return result;
 }
 
@@ -226,6 +236,7 @@ std::size_t SweepResult::failed_count() const {
 }
 
 Table SweepResult::to_table() const {
+  SPF_SPAN("aggregate");
   Table t({"workload", "L2", "helper", "RP", "A_SKI", "vs bound", "status",
            "Normalized_Runtime", "Normalized_MemoryAccesses",
            "Normalized_HotMisses", "dTotally_hit(%)", "dTotally_miss(%)",
@@ -258,6 +269,7 @@ Table SweepResult::to_table() const {
 std::string SweepResult::to_csv() const { return to_table().to_csv(); }
 
 void SweepResult::write_jsonl(std::ostream& out) const {
+  SPF_SPAN("aggregate");
   for (const auto& c : cells) {
     JsonObject obj;
     obj.add("id", static_cast<std::uint64_t>(c.cell.id))

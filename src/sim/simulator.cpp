@@ -4,8 +4,38 @@
 #include <limits>
 
 #include "spf/common/assert.hpp"
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf {
+namespace {
+
+/// Surfaces a finished run's L2 classification and pollution cases as
+/// telemetry counters. Bulk adds after the run — the per-access hot path
+/// never sees telemetry (the per-core metrics it sums already exist).
+void surface_run_telemetry(const SimResult& result) {
+  if (!telemetry::enabled()) return;
+  using telemetry::Counter;
+  std::uint64_t lookups = 0, totally_hits = 0, partially_hits = 0,
+                totally_misses = 0;
+  for (const ThreadMetrics& m : result.per_core) {
+    lookups += m.l2_lookups;
+    totally_hits += m.totally_hits;
+    partially_hits += m.partially_hits;
+    totally_misses += m.totally_misses;
+  }
+  telemetry::count(Counter::kL2Lookups, lookups);
+  telemetry::count(Counter::kL2TotallyHits, totally_hits);
+  telemetry::count(Counter::kL2PartiallyHits, partially_hits);
+  telemetry::count(Counter::kL2TotallyMisses, totally_misses);
+  telemetry::count(Counter::kPollutionCase1,
+                   result.pollution.case1_reuse_displaced);
+  telemetry::count(Counter::kPollutionCase2,
+                   result.pollution.case2_helper_displaced);
+  telemetry::count(Counter::kPollutionCase3,
+                   result.pollution.case3_hw_displaced);
+}
+
+}  // namespace
 
 CmpSimulator::CmpSimulator(const SimConfig& config, Arena* arena)
     : config_(config), arena_(arena) {}
@@ -138,6 +168,7 @@ SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
   result.occupancy = std::move(occupancy_);
   result.polluted_set_count = pollution_->polluted_set_count();
   result.top_polluted_sets = pollution_->top_polluted_sets(16);
+  surface_run_telemetry(result);
   return result;
 }
 

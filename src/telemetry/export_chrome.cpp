@@ -1,0 +1,84 @@
+// Timeline exporter: Chrome trace-event JSON (the "JSON Object Format" with a
+// traceEvents array), loadable in chrome://tracing and https://ui.perfetto.dev.
+//
+// Layout: one process (pid 1) named after the driver, one thread per lane
+// (tid = lane id) named "main" / "worker-N", and one complete ("X") slice per
+// recorded span with ts/dur in microseconds. Spans were pushed at *begin*
+// time into lane-private vectors, so each lane's slices are already sorted by
+// ts and properly nested — the invariants scripts/check_trace_json.py
+// validates. A span still open at export time (it should not happen in the
+// drivers, which export after the sweep returns) is clamped to a zero-length
+// slice rather than inventing an end time.
+#include <ostream>
+#include <string>
+
+#include "spf/common/jsonl.hpp"
+#include "spf/telemetry/telemetry.hpp"
+
+namespace spf::telemetry {
+namespace {
+
+/// Clock ticks (ns for the steady clock) -> trace-event microseconds.
+double to_us(Clock::Ticks ticks) { return static_cast<double>(ticks) / 1000.0; }
+
+}  // namespace
+
+void Session::write_chrome_trace(std::ostream& out,
+                                 const std::string& process_name) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const JsonObject& obj) {
+    if (!first) out << ",\n";
+    first = false;
+    out << obj.line();
+  };
+
+  JsonObject process;
+  process.add("ph", "M")
+      .add("pid", std::uint64_t{1})
+      .add("tid", std::uint64_t{0})
+      .add("name", "process_name")
+      .add_raw("args", "{\"name\":\"" + json_escape(process_name) + "\"}");
+  emit(process);
+
+  for (const auto& lane : lanes_) {
+    JsonObject thread;
+    thread.add("ph", "M")
+        .add("pid", std::uint64_t{1})
+        .add("tid", static_cast<std::uint64_t>(lane->id()))
+        .add("name", "thread_name")
+        .add_raw("args", "{\"name\":\"" + json_escape(lane->label()) + "\"}");
+    emit(thread);
+    JsonObject sort;
+    sort.add("ph", "M")
+        .add("pid", std::uint64_t{1})
+        .add("tid", static_cast<std::uint64_t>(lane->id()))
+        .add("name", "thread_sort_index")
+        .add_raw("args",
+                 "{\"sort_index\":" + std::to_string(lane->id()) + "}");
+    emit(sort);
+  }
+
+  for (const auto& lane : lanes_) {
+    for (const SpanEvent& ev : lane->spans()) {
+      const Clock::Ticks end = ev.end >= ev.begin ? ev.end : ev.begin;
+      JsonObject slice;
+      slice.add("ph", "X")
+          .add("pid", std::uint64_t{1})
+          .add("tid", static_cast<std::uint64_t>(lane->id()))
+          .add("name", ev.name)
+          .add("cat", "spf")
+          .add("ts", to_us(ev.begin))
+          .add("dur", to_us(end - ev.begin));
+      if (ev.arg_name != nullptr) {
+        slice.add_raw("args", "{\"" + json_escape(ev.arg_name) +
+                                  "\":" + std::to_string(ev.arg) + "}");
+      }
+      emit(slice);
+    }
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace spf::telemetry

@@ -1,0 +1,82 @@
+// Metrics exporter: deterministic JSONL dump of a session's merged state.
+//
+// Record schema (one JSON object per line, see docs/telemetry.md):
+//   {"record":"meta", ...}                          exactly once, first
+//   {"record":"counter","name":...,"total":N}       Counter enum order
+//   {"record":"gauge","name":...,"max":N}           Gauge enum order
+//   {"record":"span","name":...,"count":N,"total_ticks":T}   sorted by name
+//   {"record":"lane","id":I,"label":...,"spans":N}  lane-id order
+//
+// Under the virtual clock every field is a pure function of the recorded
+// work, so two identical runs dump identical bytes — the property the merge
+// determinism test pins. Under the steady clock only "total_ticks" varies.
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "spf/common/jsonl.hpp"
+#include "spf/telemetry/telemetry.hpp"
+
+namespace spf::telemetry {
+
+void Session::write_metrics_jsonl(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+
+  JsonObject meta;
+  meta.add("record", "meta")
+      .add("schema", "spf-telemetry-v1")
+      .add("clock", clock_.mode_name())
+      .add("lanes", static_cast<std::uint64_t>(lanes_.size()))
+      .add("span_events", snap.span_events);
+  out << meta;
+
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    JsonObject obj;
+    obj.add("record", "counter")
+        .add("name", to_string(static_cast<Counter>(c)))
+        .add("total", snap.counters[c]);
+    out << obj;
+  }
+  for (std::size_t g = 0; g < kGaugeCount; ++g) {
+    JsonObject obj;
+    obj.add("record", "gauge")
+        .add("name", to_string(static_cast<Gauge>(g)))
+        .add("max", snap.gauges[g]);
+    out << obj;
+  }
+
+  // Per-name span aggregates. std::map keeps the emission order sorted by
+  // name — stable regardless of which lane saw which span first.
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ticks = 0;
+  };
+  std::map<std::string, SpanAgg> by_name;
+  for (const auto& lane : lanes_) {
+    for (const SpanEvent& ev : lane->spans()) {
+      SpanAgg& agg = by_name[ev.name];
+      ++agg.count;
+      if (ev.end >= ev.begin) agg.total_ticks += ev.end - ev.begin;
+    }
+  }
+  for (const auto& [name, agg] : by_name) {
+    JsonObject obj;
+    obj.add("record", "span")
+        .add("name", name)
+        .add("count", agg.count)
+        .add("total_ticks", agg.total_ticks);
+    out << obj;
+  }
+
+  for (const auto& lane : lanes_) {
+    JsonObject obj;
+    obj.add("record", "lane")
+        .add("id", static_cast<std::uint64_t>(lane->id()))
+        .add("label", lane->label())
+        .add("spans", static_cast<std::uint64_t>(lane->spans().size()));
+    out << obj;
+  }
+}
+
+}  // namespace spf::telemetry

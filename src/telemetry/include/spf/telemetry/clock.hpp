@@ -1,0 +1,59 @@
+// Monotonic time source for the telemetry subsystem.
+//
+// Two modes share one type so the recording layer never branches on time
+// semantics:
+//
+//   kSteady  — std::chrono::steady_clock, reported as nanoseconds since the
+//              clock was constructed. This is what sweep timelines use: it is
+//              monotone per thread *and* across threads, so per-lane slices
+//              line up in Perfetto.
+//   kVirtual — a process-wide atomic tick counter incremented on every now()
+//              call. Strictly monotone and fully deterministic, which is what
+//              the unit tests pin span ordering and metrics-dump bytes
+//              against (wall time never enters the artifact).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spf::telemetry {
+
+class Clock {
+ public:
+  enum class Mode : std::uint8_t { kSteady, kVirtual };
+  using Ticks = std::uint64_t;
+
+  explicit Clock(Mode mode = Mode::kSteady) noexcept
+      : mode_(mode), origin_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// kSteady: nanoseconds since construction. kVirtual: 1, 2, 3, ... —
+  /// every call returns a strictly larger tick, even across threads.
+  [[nodiscard]] Ticks now() const noexcept {
+    if (mode_ == Mode::kVirtual) {
+      return virtual_ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    return static_cast<Ticks>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - origin_)
+                                  .count());
+  }
+
+  /// Elapsed time as seconds (kSteady; for kVirtual this is ticks * 1e-9 and
+  /// only useful as a monotone ordinal).
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(now()) * 1e-9;
+  }
+
+  [[nodiscard]] const char* mode_name() const noexcept {
+    return mode_ == Mode::kVirtual ? "virtual" : "steady";
+  }
+
+ private:
+  Mode mode_;
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::atomic<Ticks> virtual_ticks_{0};
+};
+
+}  // namespace spf::telemetry

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pinned_golden_spec.hpp"
 #include "spf/core/experiment_context.hpp"
 #include "spf/orchestrate/sweep.hpp"
 #include "spf/orchestrate/workload_specs.hpp"
@@ -29,30 +30,7 @@
 namespace spf::orchestrate {
 namespace {
 
-SweepSpec pinned_spec() {
-  Em3dConfig em3d;
-  em3d.nodes = 2000;
-  em3d.arity = 8;
-  em3d.passes = 1;
-  McfConfig mcf;
-  mcf.nodes = 1000;
-  mcf.arcs = 6000;
-  mcf.passes = 2;
-  MstConfig mst;
-  mst.vertices = 400;
-  mst.degree = 8;
-  mst.buckets = 32;
-
-  SweepSpec spec;
-  spec.workloads.push_back(em3d_spec(em3d));
-  spec.workloads.push_back(mcf_spec(mcf));
-  spec.workloads.push_back(mst_spec(mst));
-  spec.distances = {1, 2, 4};
-  spec.rps = {0.5, 1.0};
-  spec.helpers = {HelperKind::kBlockingLoad, HelperKind::kPrefetchInstruction};
-  spec.geometries = {CacheGeometry(64 << 10, 8, 64)};
-  return spec;
-}
+SweepSpec pinned_spec() { return pinned_golden_spec(); }
 
 std::string golden_path(const char* name) {
   return std::string(SPF_GOLDEN_DIR) + "/" + name;

@@ -1,0 +1,38 @@
+// The pinned 36-cell golden grid shared by the golden-sweep and telemetry
+// differential suites: 3 workloads × 3 distances × 2 RP regimes × 2 helper
+// kinds × 1 geometry. Frozen — changing any knob here invalidates the
+// checked-in goldens under tests/golden (regenerate via SPF_REGEN_GOLDEN=1,
+// see golden_sweep_test.cpp).
+#pragma once
+
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/orchestrate/workload_specs.hpp"
+
+namespace spf::orchestrate {
+
+inline SweepSpec pinned_golden_spec() {
+  Em3dConfig em3d;
+  em3d.nodes = 2000;
+  em3d.arity = 8;
+  em3d.passes = 1;
+  McfConfig mcf;
+  mcf.nodes = 1000;
+  mcf.arcs = 6000;
+  mcf.passes = 2;
+  MstConfig mst;
+  mst.vertices = 400;
+  mst.degree = 8;
+  mst.buckets = 32;
+
+  SweepSpec spec;
+  spec.workloads.push_back(em3d_spec(em3d));
+  spec.workloads.push_back(mcf_spec(mcf));
+  spec.workloads.push_back(mst_spec(mst));
+  spec.distances = {1, 2, 4};
+  spec.rps = {0.5, 1.0};
+  spec.helpers = {HelperKind::kBlockingLoad, HelperKind::kPrefetchInstruction};
+  spec.geometries = {CacheGeometry(64 << 10, 8, 64)};
+  return spec;
+}
+
+}  // namespace spf::orchestrate

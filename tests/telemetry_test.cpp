@@ -1,0 +1,380 @@
+// spf::telemetry unit + differential suite.
+//
+// Three layers:
+//   1. Recording primitives — counter/gauge merge determinism, span nesting,
+//      lane binding, install/uninstall semantics, runtime-off no-ops.
+//   2. Exporters — metrics JSONL record order and the Chrome trace-event
+//      shape (the deep structural checks live in scripts/check_trace_json.py,
+//      which ctest runs against a real perf_smoke artifact).
+//   3. The determinism contract — the pinned 36-cell golden grid must produce
+//      byte-identical CSV/JSONL artifacts with a telemetry session installed
+//      or absent, at --threads=1 and --threads=8, and still match the
+//      checked-in goldens. Telemetry observes; it never steers.
+//
+// This binary is also re-run as `telemetry_under_tsan` when the tree is
+// built with -DSPF_SANITIZE=thread: the 8-thread instrumented sweep is the
+// subsystem's race-freedom proof (lane-exclusive writes, merge after join).
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pinned_golden_spec.hpp"
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/telemetry/telemetry.hpp"
+
+#ifndef SPF_GOLDEN_DIR
+#error "SPF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace spf::telemetry {
+namespace {
+
+Session::Options virtual_clock() {
+  Session::Options opts;
+  opts.clock_mode = Clock::Mode::kVirtual;
+  return opts;
+}
+
+/// Installs a session for one test scope and restores the previous one even
+/// when an assertion fails mid-test.
+class InstallGuard {
+ public:
+  explicit InstallGuard(Session* session) : previous_(install(session)) {}
+  ~InstallGuard() { install(previous_); }
+  InstallGuard(const InstallGuard&) = delete;
+  InstallGuard& operator=(const InstallGuard&) = delete;
+
+ private:
+  Session* previous_;
+};
+
+std::string metrics_bytes(const Session& session) {
+  std::ostringstream out;
+  session.write_metrics_jsonl(out);
+  return out.str();
+}
+
+TEST(TelemetryCounters, MergeSumsLanesAndIsChunkingIndependent) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  // Same per-lane totals accumulated through different add() chunkings and
+  // lane visit orders must merge — and export — to identical bytes.
+  Session a(3, virtual_clock());
+  a.lane(0)->add(Counter::kReplayRuns, 5);
+  a.lane(1)->add(Counter::kReplayRuns, 7);
+  a.lane(2)->add(Counter::kReplayRuns, 9);
+  a.lane(1)->gauge_max(Gauge::kTraceRecordsMax, 100);
+  a.lane(2)->gauge_max(Gauge::kTraceRecordsMax, 40);
+
+  Session b(3, virtual_clock());
+  for (int i = 0; i < 9; ++i) b.lane(2)->add(Counter::kReplayRuns, 1);
+  b.lane(1)->add(Counter::kReplayRuns, 3);
+  b.lane(0)->add(Counter::kReplayRuns, 2);
+  b.lane(0)->add(Counter::kReplayRuns, 3);
+  b.lane(1)->add(Counter::kReplayRuns, 4);
+  b.lane(2)->gauge_max(Gauge::kTraceRecordsMax, 40);
+  b.lane(1)->gauge_max(Gauge::kTraceRecordsMax, 100);
+  b.lane(1)->gauge_max(Gauge::kTraceRecordsMax, 60);  // below the max: ignored
+
+  EXPECT_EQ(a.snapshot().counter(Counter::kReplayRuns), 21u);
+  EXPECT_EQ(a.snapshot().gauge(Gauge::kTraceRecordsMax), 100u);
+  EXPECT_EQ(metrics_bytes(a), metrics_bytes(b));
+#endif
+}
+
+TEST(TelemetryCounters, ThreadedAccumulationIsScheduleIndependent) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  // Each worker thread binds its own lane and hammers the counters; whatever
+  // the scheduler does, the merged totals — and therefore the metrics dump —
+  // are a pure function of the work.
+  auto run_once = [] {
+    Session session(5, virtual_clock());
+    const InstallGuard guard(&session);
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < 4; ++w) {
+      workers.emplace_back([w] {
+        const LaneScope lane(w + 1);
+        for (int i = 0; i < 1000; ++i) {
+          count(Counter::kL2Lookups);
+          count(Counter::kReplayRecords, w + 1);
+        }
+        gauge_max(Gauge::kArenaBytesMax, 100 * (w + 1));
+      });
+    }
+    for (auto& t : workers) t.join();
+    return metrics_bytes(session);
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"name\":\"sim.l2_lookups\",\"total\":4000"),
+            std::string::npos);
+  // 1000 * (1 + 2 + 3 + 4) records.
+  EXPECT_NE(first.find("\"name\":\"replay.records\",\"total\":10000"),
+            std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"replay.arena_bytes_max\",\"max\":400"),
+            std::string::npos);
+#endif
+}
+
+TEST(TelemetrySpans, NestRecordDepthAndStayMonotone) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  Session session(1, virtual_clock());
+  const InstallGuard guard(&session);
+  {
+    SPF_SPAN("cell", "id", 7);
+    {
+      SPF_SPAN("replay");
+      { SPF_SPAN("helper-gen"); }
+    }
+    { SPF_SPAN("refine"); }
+  }
+
+  const auto& spans = session.lane(0)->spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Pushed at begin time: outermost first, siblings in program order.
+  EXPECT_STREQ(spans[0].name, "cell");
+  EXPECT_STREQ(spans[1].name, "replay");
+  EXPECT_STREQ(spans[2].name, "helper-gen");
+  EXPECT_STREQ(spans[3].name, "refine");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].depth, 1u);
+
+  // The argument form captures its literal name and value.
+  ASSERT_NE(spans[0].arg_name, nullptr);
+  EXPECT_STREQ(spans[0].arg_name, "id");
+  EXPECT_EQ(spans[0].arg, 7u);
+  EXPECT_EQ(spans[1].arg_name, nullptr);
+
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i].begin, spans[i].end) << "span " << i;
+    if (i > 0) {
+      EXPECT_LT(spans[i - 1].begin, spans[i].begin);
+    }
+  }
+  // Children are strictly enclosed by their parents.
+  EXPECT_LT(spans[0].begin, spans[1].begin);
+  EXPECT_LT(spans[1].end, spans[0].end);
+  EXPECT_LT(spans[1].begin, spans[2].begin);
+  EXPECT_LT(spans[2].end, spans[1].end);
+  EXPECT_LT(spans[1].end, spans[3].begin);
+  EXPECT_LT(spans[3].end, spans[0].end);
+#endif
+}
+
+TEST(TelemetrySpans, LaneScopeBindsRestoresAndIgnoresOutOfRange) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  Session session(2, virtual_clock());
+  const InstallGuard guard(&session);
+  ASSERT_TRUE(enabled());  // install bound us to lane 0
+
+  {
+    const LaneScope worker(1);
+    count(Counter::kSweepCells);
+    {
+      // Oversubscribed worker id: binds nothing, records nothing, and does
+      // not disturb the outer binding once it unwinds.
+      const LaneScope overflow(99);
+      EXPECT_FALSE(enabled());
+      count(Counter::kSweepCells, 50);
+      SPF_SPAN("ignored");
+    }
+    count(Counter::kSweepCells);
+  }
+  count(Counter::kSweepCellsFailed);  // back on lane 0
+
+  EXPECT_EQ(session.lane(1)->counter(Counter::kSweepCells), 2u);
+  EXPECT_EQ(session.lane(0)->counter(Counter::kSweepCells), 0u);
+  EXPECT_EQ(session.lane(0)->counter(Counter::kSweepCellsFailed), 1u);
+  EXPECT_EQ(session.snapshot().counter(Counter::kSweepCells), 2u);
+#endif
+}
+
+TEST(TelemetrySession, InstallReturnsPreviousAndRuntimeOffIsInert) {
+  // With no session installed, every recording entry point must be a no-op —
+  // this is the path production code takes when no artifact was requested.
+  EXPECT_FALSE(enabled());
+  count(Counter::kReplayRuns);
+  gauge_max(Gauge::kArenaBytesMax, 1 << 20);
+  { SPF_SPAN("no-session"); }
+  { const LaneScope lane(1); count(Counter::kReplayRuns); }
+  EXPECT_FALSE(enabled());
+
+#if SPF_TELEMETRY
+  Session a(1, virtual_clock());
+  Session b(1, virtual_clock());
+  Session* outermost = install(&a);
+  EXPECT_EQ(install(&b), &a);
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(current(), &b);
+  EXPECT_EQ(install(outermost), &b);
+  EXPECT_EQ(a.snapshot().span_events, 0u);
+#endif
+}
+
+TEST(TelemetryExport, MetricsJsonlKeepsEnumAndNameOrder) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  Session session(2, virtual_clock());
+  const InstallGuard guard(&session);
+  { SPF_SPAN("replay"); }
+  { SPF_SPAN("aggregate"); }
+  count(Counter::kBaselineRuns);
+
+  const std::string dump = metrics_bytes(session);
+  const std::size_t meta = dump.find("\"record\":\"meta\"");
+  const std::size_t schema = dump.find("\"schema\":\"spf-telemetry-v1\"");
+  const std::size_t clock = dump.find("\"clock\":\"virtual\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(schema, std::string::npos);
+  ASSERT_NE(clock, std::string::npos);
+  EXPECT_EQ(meta, dump.find("\"record\":"));  // meta line comes first
+
+  // Counters dump in enum declaration order, spans sorted by name.
+  const std::size_t cells = dump.find("\"name\":\"sweep.cells\"");
+  const std::size_t lookups = dump.find("\"name\":\"sim.l2_lookups\"");
+  const std::size_t agg = dump.find("\"record\":\"span\",\"name\":\"aggregate\"");
+  const std::size_t rep = dump.find("\"record\":\"span\",\"name\":\"replay\"");
+  ASSERT_NE(cells, std::string::npos);
+  ASSERT_NE(lookups, std::string::npos);
+  ASSERT_NE(agg, std::string::npos);
+  ASSERT_NE(rep, std::string::npos);
+  EXPECT_LT(cells, lookups);
+  EXPECT_LT(agg, rep);
+  EXPECT_NE(dump.find("\"record\":\"lane\",\"id\":0,\"label\":\"main\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"label\":\"worker-1\""), std::string::npos);
+#endif
+}
+
+TEST(TelemetryExport, ChromeTraceEmitsLaneMetadataAndSlices) {
+#if !SPF_TELEMETRY
+  GTEST_SKIP() << "telemetry compiled out (SPF_TELEMETRY=0)";
+#else
+  Session session(2, virtual_clock());
+  const InstallGuard guard(&session);
+  { SPF_SPAN("cell", "id", 3); }
+  {
+    const LaneScope worker(1);
+    SPF_SPAN("replay");
+  }
+
+  std::ostringstream out;
+  session.write_chrome_trace(out, "unit_test");
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"unit_test\"}"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"worker-1\"}"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"cell\""), std::string::npos);
+  EXPECT_NE(trace.find("{\"id\":3}"), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Slices land on the lane that recorded them.
+  const std::size_t replay = trace.find("\"name\":\"replay\"");
+  ASSERT_NE(replay, std::string::npos);
+  const std::size_t line_start = trace.rfind('\n', replay);
+  EXPECT_NE(trace.find("\"tid\":1", line_start), std::string::npos);
+#endif
+}
+
+// ---- determinism contract against the golden grid ----------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TelemetryDifferential, GoldenSweepIsByteIdenticalWithTelemetryOnOrOff) {
+  const orchestrate::SweepSpec spec = orchestrate::pinned_golden_spec();
+
+  // Reference run: no session installed anywhere.
+  ASSERT_FALSE(enabled());
+  orchestrate::SweepOptions parallel;
+  parallel.threads = 8;
+  const orchestrate::SweepResult off = orchestrate::run_sweep(spec, parallel);
+  ASSERT_EQ(off.cells.size(), 36u);
+  ASSERT_EQ(off.failed_count(), 0u);
+
+  // Instrumented runs: one lane per worker plus the main lane, at both ends
+  // of the thread-count range.
+  Session session(9, virtual_clock());
+  std::string on_csv;
+  std::string on_jsonl;
+  std::string serial_csv;
+  {
+    const InstallGuard guard(&session);
+    const orchestrate::SweepResult on = orchestrate::run_sweep(spec, parallel);
+    ASSERT_EQ(on.failed_count(), 0u);
+    on_csv = on.to_csv();
+    on_jsonl = on.to_jsonl();
+    orchestrate::SweepOptions serial;
+    serial.threads = 1;
+    serial_csv = orchestrate::run_sweep(spec, serial).to_csv();
+  }
+
+  // Telemetry observes — it must never steer the artifact by a byte.
+  EXPECT_EQ(off.to_csv(), on_csv);
+  EXPECT_EQ(off.to_jsonl(), on_jsonl);
+  EXPECT_EQ(off.to_csv(), serial_csv);
+  EXPECT_EQ(on_csv, read_file(std::string(SPF_GOLDEN_DIR) + "/pinned_sweep.csv"))
+      << "instrumented sweep drifted from the golden artifact";
+  EXPECT_EQ(on_jsonl,
+            read_file(std::string(SPF_GOLDEN_DIR) + "/pinned_sweep.jsonl"))
+      << "instrumented sweep drifted from the golden artifact";
+
+#if SPF_TELEMETRY
+  // And the session actually saw the work: both sweeps' cells, one memoized
+  // emission per workload per sweep, replay + simulator traffic, timelines.
+  const MetricsSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kSweepCells), 72u);  // 36 cells x 2 sweeps
+  EXPECT_EQ(snap.counter(Counter::kSweepCellsFailed), 0u);
+  EXPECT_EQ(snap.counter(Counter::kTraceEmissions), 6u);  // 3 workloads x 2
+  EXPECT_EQ(snap.counter(Counter::kTraceMemoMisses), 6u);
+  EXPECT_GT(snap.counter(Counter::kTraceMemoHits), 0u);
+  EXPECT_GT(snap.counter(Counter::kBaselineRuns), 0u);
+  EXPECT_GE(snap.counter(Counter::kReplayRuns), 72u);
+  EXPECT_GT(snap.counter(Counter::kL2Lookups), 0u);
+  EXPECT_EQ(snap.counter(Counter::kL2TotallyHits) +
+                snap.counter(Counter::kL2PartiallyHits) +
+                snap.counter(Counter::kL2TotallyMisses),
+            snap.counter(Counter::kL2Lookups));
+  EXPECT_GT(snap.span_events, 0u);
+  EXPECT_GT(snap.gauge(Gauge::kTraceRecordsMax), 0u);
+
+  // The parallel sweep really did record from worker lanes, and every span
+  // closed before export.
+  std::uint64_t worker_spans = 0;
+  for (std::size_t id = 1; id < session.lane_count(); ++id) {
+    worker_spans += session.lane(id)->spans().size();
+  }
+  EXPECT_GT(worker_spans, 0u);
+  for (std::size_t id = 0; id < session.lane_count(); ++id) {
+    for (const SpanEvent& ev : session.lane(id)->spans()) {
+      EXPECT_GT(ev.end, ev.begin) << "unclosed span " << ev.name;
+    }
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace spf::telemetry
