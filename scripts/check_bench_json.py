@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_perf.json artifact emitted by bench/perf_smoke.
+
+Usage: check_bench_json.py BENCH_perf.json [BENCH_perf.json ...]
+
+Checks, per file:
+  * the file parses as a single JSON object (the JsonObject line format);
+  * every key perf_smoke promises is present with the right JSON type —
+    a rename or dropped field in the emitter fails here, not in a
+    downstream plotting script;
+  * rate fields (ops/s, accesses/s, cells/s) and per-phase timings are
+    finite and strictly positive — a zero rate means a timer never ran;
+  * speedup ratios are finite and positive (they are A/B ratios of
+    measured times, so any sign or zero is an emitter bug; they are NOT
+    required to exceed 1.0 — see docs/simulator.md "Cursor-fed cores &
+    the peek window" for why fused replay is a parity result);
+  * the fused replay path performed zero trace-record allocations
+    (`replay_fused_record_allocations == 0`) — the ISSUE 7 contract,
+    via the trace_hooks::record_allocations hook;
+  * `telemetry_overhead_pct` is within bounds: >= 0 always (the emitter
+    clamps the median-of-reps ratio), and < 25 when telemetry is
+    compiled in (the documented contract is < 2 %; 25 leaves headroom
+    for loaded CI hosts while still catching a pathological regression);
+    ~0 when compiled out;
+  * the trace memo hit rate is a valid probability;
+  * `replay_checksum` and `refine_checksum` are present and non-zero,
+    so the runs that produced the timings actually simulated work.
+
+Exit status: 0 = all files valid, 1 = any violation (details on stderr).
+No third-party imports — runs on a bare python3.
+"""
+
+import json
+import math
+import sys
+
+# key -> allowed JSON types (json module mapping: bool before int matters,
+# since bool is a subclass of int in Python).
+NUMBER = (int, float)
+REQUIRED = {
+    "bench": str,
+    "quick": bool,
+    "reps": int,
+    "l2": str,
+    "em3d_nodes": int,
+    "em3d_arity": int,
+    "trace_records": int,
+    "materialize_ir_ops_per_sec": NUMBER,
+    "materialize_sec": NUMBER,
+    "replay_accesses_per_sec": NUMBER,
+    "replay_batched": NUMBER,
+    "replay_scalar_accesses_per_sec": NUMBER,
+    "replay_sec_per_cell": NUMBER,
+    "replay_fused_sec_per_cell": NUMBER,
+    "replay_materialized_sec_per_cell": NUMBER,
+    "replay_fused_speedup": NUMBER,
+    "replay_fused_record_allocations": int,
+    "refine_materialized_sec": NUMBER,
+    "refine_streaming_sec": NUMBER,
+    "distance_bound_refine_speedup": NUMBER,
+    "refine_upper_limit": int,
+    "sweep_cells": int,
+    "sweep_cells_per_sec": NUMBER,
+    "sweep_sec": NUMBER,
+    "sweep_trace_memo_hits": int,
+    "sweep_trace_memo_misses": int,
+    "sweep_trace_memo_hit_rate": NUMBER,
+    "sweep_fused_sec_per_cell": NUMBER,
+    "sweep_materialized_sec_per_cell": NUMBER,
+    "sweep_fused_speedup": NUMBER,
+    "sweep_telemetry_off_sec": NUMBER,
+    "sweep_telemetry_on_sec": NUMBER,
+    "telemetry_overhead_pct": NUMBER,
+    "telemetry_compiled": bool,
+    "replay_checksum": int,
+    "refine_checksum": int,
+}
+
+STRICTLY_POSITIVE = [
+    "materialize_ir_ops_per_sec",
+    "materialize_sec",
+    "replay_accesses_per_sec",
+    "replay_scalar_accesses_per_sec",
+    "replay_sec_per_cell",
+    "replay_fused_sec_per_cell",
+    "replay_materialized_sec_per_cell",
+    "replay_fused_speedup",
+    "refine_materialized_sec",
+    "refine_streaming_sec",
+    "distance_bound_refine_speedup",
+    "sweep_cells_per_sec",
+    "sweep_sec",
+    "sweep_trace_memo_hits",
+    "sweep_fused_sec_per_cell",
+    "sweep_materialized_sec_per_cell",
+    "sweep_fused_speedup",
+    "sweep_telemetry_off_sec",
+    "sweep_telemetry_on_sec",
+]
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_type(path, doc, key, types):
+    value = doc[key]
+    # bool is an int subclass; only accept it where bool is the spec.
+    if types is bool:
+        if not isinstance(value, bool):
+            return fail(path, f'"{key}": expected boolean, got {value!r}')
+        return True
+    if isinstance(value, bool):
+        return fail(path, f'"{key}": expected number, got boolean {value!r}')
+    if not isinstance(value, types):
+        return fail(path, f'"{key}": expected {types}, got {value!r}')
+    if isinstance(value, float) and not math.isfinite(value):
+        return fail(path, f'"{key}": non-finite value {value!r}')
+    return True
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not loadable JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not a JSON object")
+
+    ok = True
+    missing = [k for k in REQUIRED if k not in doc]
+    if missing:
+        ok = fail(path, f"missing required keys: {sorted(missing)}")
+    for key, types in REQUIRED.items():
+        if key in doc:
+            ok = check_type(path, doc, key, types) and ok
+
+    if not ok:
+        return False  # value checks below assume presence + type
+
+    if doc["bench"] != "perf_smoke":
+        ok = fail(path, f'"bench": expected "perf_smoke", got {doc["bench"]!r}')
+
+    for key in STRICTLY_POSITIVE:
+        if doc[key] <= 0:
+            ok = fail(path, f'"{key}": expected > 0, got {doc[key]}')
+
+    if doc["replay_fused_record_allocations"] != 0:
+        ok = fail(
+            path,
+            "fused replay grew trace-record storage: "
+            f"replay_fused_record_allocations = "
+            f"{doc['replay_fused_record_allocations']} (contract: 0)",
+        )
+
+    pct = doc["telemetry_overhead_pct"]
+    if pct < 0:
+        ok = fail(path, f"telemetry_overhead_pct is negative: {pct}")
+    if doc["telemetry_compiled"]:
+        if pct >= 25:
+            ok = fail(
+                path,
+                f"telemetry_overhead_pct = {pct} — the <2% contract has "
+                "regressed far beyond measurement noise",
+            )
+    elif pct != 0:
+        ok = fail(path, f"telemetry compiled out but overhead_pct = {pct}")
+
+    rate = doc["sweep_trace_memo_hit_rate"]
+    if not 0.0 <= rate <= 1.0:
+        ok = fail(path, f"sweep_trace_memo_hit_rate out of [0,1]: {rate}")
+
+    for key in ("replay_checksum", "refine_checksum"):
+        if doc[key] == 0:
+            ok = fail(path, f'"{key}" is zero — the timed run simulated nothing')
+
+    if doc["sweep_cells"] <= 0:
+        ok = fail(path, f'"sweep_cells": expected > 0, got {doc["sweep_cells"]}')
+    if doc["reps"] <= 0:
+        ok = fail(path, f'"reps": expected > 0, got {doc["reps"]}')
+
+    if ok:
+        print(
+            f"{path}: OK ({len(REQUIRED)} keys, "
+            f"fused speedup {doc['replay_fused_speedup']:.3f}, "
+            f"telemetry overhead {pct:.2f}%)"
+        )
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_ok = True
+    for path in argv[1:]:
+        all_ok = check_file(path) and all_ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

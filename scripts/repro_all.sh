@@ -39,6 +39,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
+# Validate the perf record against its schema + contracts (required keys,
+# telemetry_overhead_pct bounds, zero fused-path record allocations) — the
+# same validator ctest runs against the --quick artifact.
+if [ -f BENCH_perf.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_bench_json.py BENCH_perf.json
+fi
+
 # Accumulate this run's perf record — including the telemetry off/on delta
 # perf_smoke measures (telemetry_overhead_pct) — into the git-ignored local
 # history, one compact JSONL line per reproduction run, so hot-path drift is

@@ -12,8 +12,11 @@
 //     streams) — cache/MSHR/memory storage is reused, not reallocated;
 //   - one bump Arena backing the simulator's cache arrays (released wholesale
 //     when the context dies, never per cell);
-//   - one helper-trace TraceBuffer scratch, refilled in place by
-//     make_helper_trace_into.
+//   - a fixed-ring helper feed (CursorWindowSource<HelperViewCursor>) that
+//     synthesizes the helper stream *inside* replay on the default
+//     streaming_cores path — plus one helper-trace TraceBuffer scratch,
+//     refilled by make_helper_trace_into only on the materialized reference
+//     path (SimConfig::streaming_cores off).
 //
 // Results are bit-identical to the free functions — every reset seam is
 // specified "as-if freshly constructed", and the golden-sweep and replay
@@ -30,6 +33,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -37,8 +41,10 @@
 
 #include "spf/common/arena.hpp"
 #include "spf/core/experiment.hpp"
+#include "spf/core/helper_gen.hpp"
 #include "spf/sim/simulator.hpp"
 #include "spf/trace/trace.hpp"
+#include "spf/trace/trace_cursor.hpp"
 #include "spf/trace/trace_source.hpp"
 
 namespace spf {
@@ -70,9 +76,25 @@ class ExperimentContext {
   }
 
  private:
+  /// Ring size of the fused helper feed, in records (64 KiB of ring). Larger
+  /// windows mean fewer, longer synthesis bursts interrupting replay; the
+  /// burst's cache disturbance amortizes better with size until the ring
+  /// outgrows L2 (4096 measured fastest on the SP cell — 256 and 16384 are
+  /// both several percent slower; see bench/perf_smoke).
+  static constexpr std::size_t kHelperFeedWindow = 4096;
+
   Arena arena_;
   CmpSimulator simulator_;
+  /// Materialized helper trace — written only on the reference path
+  /// (SimConfig::streaming_cores off). The default fused path never touches
+  /// it: the helper core pulls records through helper_feed_ instead.
   TraceBuffer helper_scratch_;
+  /// Fused helper synthesis: a HelperViewCursor over the (memo-shared) main
+  /// trace, windowed for the simulator's pull seam. Rebuilt per SP run
+  /// (cheap: fixed ring storage, no allocation); optional because the cursor
+  /// binds to a specific trace + params.
+  std::optional<CursorWindowSource<HelperViewCursor, kHelperFeedWindow>>
+      helper_feed_;
 };
 
 /// Fixed-size pool of contexts for concurrent sweep workers. Lease a context,

@@ -25,8 +25,11 @@
 //     stream into a TraceBuffer (the reference implementation);
 //   * HelperViewCursor — a lazy TraceCursor view that applies the same
 //     per-record transform while streaming over the main trace, allocating
-//     no record storage (the distance-bound refinement's fast path, see
-//     spf/core/distance_bound.hpp).
+//     no record storage. It also satisfies BulkTraceCursor (fill() writes a
+//     whole window in one flat loop), so it feeds both the distance-bound
+//     refinement (spf/core/distance_bound.hpp) and the simulator's helper
+//     core via CursorWindowSource (docs/simulator.md "Cursor-fed cores &
+//     the peek window"); the materialized path survives as the reference.
 #pragma once
 
 #include <cstdint>
@@ -112,32 +115,62 @@ class HelperViewCursor {
     settle();
   }
 
+  /// Bulk form of the advance loop (see BulkTraceCursor): writes up to `cap`
+  /// transformed records into `dst` and advances past them, returning the
+  /// count written. Observationally equivalent to repeated
+  /// {current(), advance()} — the scan runs as one flat loop straight into
+  /// the destination, which is how the simulator's window source pulls the
+  /// helper stream at the materialized generator's cost without the scratch.
+  std::size_t fill(TraceRecord* dst, std::size_t cap) {
+    if (cap == 0 || done()) return 0;
+    std::size_t n = 0;
+    dst[n++] = current_;  // the already-settled pending record
+    ++pos_;
+    for (; n < cap && pos_ < records_.size(); ++pos_) {
+      const TraceRecord& r = records_[pos_];
+      if (!keeps(r)) continue;
+      dst[n++] = transformed(r);
+    }
+    settle();  // re-establish the pending record for current()/done()
+    return n;
+  }
+
  private:
+  /// The skip/pre-execute predicate of make_helper_trace_into, including its
+  /// per-iteration round-position memoization (last_outer_/last_pos_).
+  [[nodiscard]] bool keeps(const TraceRecord& r) {
+    if (r.kind() == AccessKind::kWrite) return false;  // helper never stores
+    if (r.outer_iter != last_outer_) {
+      last_outer_ = r.outer_iter;
+      last_pos_ = r.outer_iter % params_.round();
+    }
+    return last_pos_ >= params_.a_ski || r.is_spine();
+  }
+
+  /// The kept record's helper image (valid right after keeps(r) returned
+  /// true, which leaves last_pos_ describing r's round position).
+  [[nodiscard]] TraceRecord transformed(const TraceRecord& r) const {
+    const bool pre_execute = last_pos_ >= params_.a_ski;
+    AccessKind kind = AccessKind::kRead;
+    if (pre_execute && r.is_delinquent() && options_.use_prefetch_instructions) {
+      kind = AccessKind::kPrefetch;
+    }
+    std::uint32_t outer = r.outer_iter;
+    if (re_anchor_) {
+      outer = outer >= params_.a_ski ? outer - params_.a_ski : 0;
+    }
+    return TraceRecord::make(r.addr, outer, kind, r.site, r.flags(),
+                             options_.helper_compute_gap);
+  }
+
   /// Advances pos_ to the next main-trace record the helper keeps and caches
   /// its transformed image in current_. Mirrors make_helper_trace_into
-  /// exactly, including the per-iteration round-position memoization.
+  /// exactly.
   void settle() {
-    const std::uint32_t round = params_.round();
     for (; pos_ < records_.size(); ++pos_) {
       const TraceRecord& r = records_[pos_];
-      if (r.kind() == AccessKind::kWrite) continue;  // helper never stores
-      if (r.outer_iter != last_outer_) {
-        last_outer_ = r.outer_iter;
-        last_pos_ = r.outer_iter % round;
-      }
-      const bool pre_execute = last_pos_ >= params_.a_ski;
-      if (!pre_execute && !r.is_spine()) continue;
-
-      AccessKind kind = AccessKind::kRead;
-      if (pre_execute && r.is_delinquent() && options_.use_prefetch_instructions) {
-        kind = AccessKind::kPrefetch;
-      }
-      std::uint32_t outer = r.outer_iter;
-      if (re_anchor_) {
-        outer = outer >= params_.a_ski ? outer - params_.a_ski : 0;
-      }
-      current_ = TraceRecord::make(r.addr, outer, kind, r.site, r.flags(),
-                                   options_.helper_compute_gap);
+      if (!keeps(r)) continue;
+      current_ = transformed(r);
       return;
     }
   }
@@ -153,5 +186,6 @@ class HelperViewCursor {
 };
 
 static_assert(TraceCursor<HelperViewCursor>);
+static_assert(BulkTraceCursor<HelperViewCursor>);
 
 }  // namespace spf

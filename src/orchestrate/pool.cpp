@@ -1,6 +1,7 @@
 #include "spf/orchestrate/pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -92,14 +93,27 @@ std::vector<JobOutcome> run_indexed(std::size_t count, unsigned threads,
 }
 
 ProgressFn stderr_progress(std::string label) {
-  // Throughput comes from the telemetry steady clock, measured from when the
-  // reporter was created (= just before the sweep starts in every driver).
-  // The reporter is serialized under the progress mutex, so the shared clock
+  // Throughput is measured from when the reporter was created (= just before
+  // the sweep starts in every driver). With telemetry compiled in, the rate
+  // reads the telemetry steady clock (same time base as the exported
+  // timelines); with SPF_TELEMETRY=0 it must not lean on telemetry subsystem
+  // semantics, so it falls back to std::chrono::steady_clock directly. The
+  // reporter is serialized under the progress mutex, so the shared clock
   // read needs no extra synchronization.
+#if SPF_TELEMETRY
   auto start = std::make_shared<telemetry::Clock>(telemetry::Clock::Mode::kSteady);
+  auto elapsed_sec = [start = std::move(start)]() { return start->seconds(); };
+#else
+  auto elapsed_sec = [origin = std::chrono::steady_clock::now()]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         origin)
+        .count();
+  };
+#endif
   return [label = std::move(label),
-          start = std::move(start)](std::size_t done, std::size_t total) {
-    const double sec = start->seconds();
+          elapsed_sec = std::move(elapsed_sec)](std::size_t done,
+                                                std::size_t total) {
+    const double sec = elapsed_sec();
     if (sec > 0.0) {
       std::fprintf(stderr, "\r%s %zu/%zu (%.2f/s)", label.c_str(), done, total,
                    static_cast<double>(done) / sec);

@@ -143,6 +143,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
                                               spec.geometries[g]);
         SpExperimentConfig cfg;
         cfg.sim.l2 = spec.geometries[g];
+        cfg.sim.streaming_cores = opts.streaming_cores;
         cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
         plane.baseline = contexts.acquire()->run_original(src.trace, cfg);
       });
@@ -201,6 +202,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         const TraceSource& src = *src_ptr;
         SpExperimentConfig cfg;
         cfg.sim.l2 = cell.l2;
+        cfg.sim.streaming_cores = opts.streaming_cores;
         cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);
         cfg.helper.use_prefetch_instructions =
             cell.helper == HelperKind::kPrefetchInstruction;

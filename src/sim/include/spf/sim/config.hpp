@@ -38,6 +38,14 @@ struct SimConfig {
   /// record-at-a-time engine — the flag exists so the differential test can
   /// pin one engine against the other, not as a behaviour knob.
   bool batched_replay = true;
+  /// Feed cores through the pull-based RecordSource seam (window-fed engine;
+  /// see spf/trace/trace_cursor.hpp). Materialized traces become a
+  /// single-window BufferCursor, cursor-backed streams (the fused helper) are
+  /// synthesized window-by-window. Off selects the buffer-indexed reference
+  /// engine, bit-identical to the streaming one — a differential-test pin
+  /// like batched_replay, not a behaviour knob. Streams that carry only a
+  /// `source` (no materialized trace) always take the streaming engine.
+  bool streaming_cores = true;
 };
 
 /// Round-based staggering of a helper core against a leader (main) core:

@@ -20,6 +20,13 @@
 //     round provably keeps on the same core — the batch ends on core switch
 //     (next-access time reaches a rival's), round boundary, helper-sync
 //     progress point, or trace end (see docs/simulator.md).
+//
+// Orthogonally, each engine runs over one of two record feeds (again
+// bit-identical, SimConfig::streaming_cores): indexing a materialized
+// TraceBuffer, or pulling windows from a RecordSource — the seam that lets a
+// core consume a lazily synthesized stream (the fused SP helper) that is
+// never materialized. See docs/simulator.md "Cursor-fed cores & the peek
+// window".
 #pragma once
 
 #include <cstdint>
@@ -35,12 +42,21 @@
 #include "spf/sim/pollution.hpp"
 #include "spf/sim/result.hpp"
 #include "spf/trace/trace.hpp"
+#include "spf/trace/trace_cursor.hpp"
 
 namespace spf {
 
-/// One core's workload description.
+/// One core's workload description. Exactly one of `trace` / `source` feeds
+/// the core: `trace` points at a materialized buffer (the classic path, also
+/// the only one the buffer-indexed reference engine accepts); `source` is a
+/// RecordSource pulled window-by-window, which is how lazily synthesized
+/// streams (the fused SP helper) reach the simulator without a scratch
+/// buffer. A `source` stream always runs on the streaming engine regardless
+/// of SimConfig::streaming_cores; the source must outlive the run and is
+/// reset() at run start.
 struct CoreStream {
   const TraceBuffer* trace = nullptr;
+  RecordSource* source = nullptr;
   /// Provenance tag for L2 fills caused by this core's accesses. Main
   /// computation threads use kDemand; the SP helper uses kHelper so its fills
   /// participate in pollution case 2.
@@ -72,6 +88,17 @@ class CmpSimulator {
   struct CoreState {
     const TraceBuffer* trace = nullptr;
     std::size_t cursor = 0;
+    // Streaming-engine feed state (engine choice is per run, see run()):
+    // `window`/`win_pos` hold the current RecordSource window and the
+    // consumer position inside it — the position *is* the peek lookahead the
+    // scheduler uses (pending record = window[win_pos]). The refill-on-consume
+    // invariant in feed_consume keeps "win_pos == window.size()" equivalent
+    // to "stream exhausted". Trace-backed streams run under the streaming
+    // engine through `buffer_source` (whole buffer as one window).
+    RecordSource* source = nullptr;
+    std::span<const TraceRecord> window{};
+    std::size_t win_pos = 0;
+    BufferCursor buffer_source;
     Cycle clock = 0;
     std::uint32_t outer_iter = 0;  // current outer iteration (last seen)
     bool started = false;
@@ -98,14 +125,56 @@ class CmpSimulator {
   };
 
   void reset(const std::vector<CoreStream>& streams);
+
+  // Record-feed policy, selected per run: Streaming pulls through the
+  // RecordSource window, !Streaming indexes the materialized buffer. Both
+  // expose the same three operations — done / pending (peek, no consume) /
+  // consume — so the scalar and batched engines are written once and
+  // instantiated for each feed. The simulator only ever peeks the *pending*
+  // record (compute_gap for next_time, outer_iter for round gating), so a
+  // one-record-deep peek inside the window reproduces the buffer engine's
+  // scheduling decisions exactly.
+  template <bool Streaming>
+  [[nodiscard]] static bool feed_done(const CoreState& core) noexcept {
+    if constexpr (Streaming) return core.win_pos >= core.window.size();
+    else return core.cursor >= core.trace->size();
+  }
+  template <bool Streaming>
+  [[nodiscard]] static const TraceRecord& feed_pending(
+      const CoreState& core) noexcept {
+    if constexpr (Streaming) return core.window[core.win_pos];
+    else return (*core.trace)[core.cursor];
+  }
+  /// Returns the consumed record *by value*: in streaming mode the refill
+  /// that re-establishes the window invariant may overwrite the ring slot a
+  /// reference would point into.
+  template <bool Streaming>
+  [[nodiscard]] static TraceRecord feed_consume(CoreState& core) {
+    if constexpr (Streaming) {
+      const TraceRecord rec = core.window[core.win_pos++];
+      if (core.win_pos >= core.window.size()) {
+        core.window = core.source->next_window();
+        core.win_pos = 0;
+      }
+      return rec;
+    } else {
+      return (*core.trace)[core.cursor++];
+    }
+  }
+
+  template <bool Streaming>
   [[nodiscard]] bool gated(CoreState& core) const;
   /// Refresh `core.gate_next_round` from the pending record (call after the
-  /// cursor moves).
+  /// feed position moves).
+  template <bool Streaming>
   void refresh_gate_round(CoreState& core) const;
   /// One scheduler round per record (reference engine).
+  template <bool Streaming>
   void run_loop_scalar();
   /// One scheduler round per same-core batch; requires <= 64 cores.
+  template <bool Streaming>
   void run_loop_batched();
+  template <bool Streaming>
   void step(CoreId id);
   /// Process records of core `id` until the scheduler could pick a different
   /// core: its next-access time reaches limit_lo (rival with a lower id) or
@@ -113,6 +182,7 @@ class CmpSimulator {
   /// point passes (`leader_sensitive`: some currently-gated core waits on
   /// this one), the pending record enters a new round of this core's own
   /// sync, or the trace ends.
+  template <bool Streaming>
   void step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
                   bool leader_sensitive);
   /// Demand path for one record; returns the completion time of the access.
@@ -134,6 +204,9 @@ class CmpSimulator {
   /// participate in the current run.
   std::vector<CoreState> cores_;
   std::size_t active_ = 0;
+  /// Feed selected by the last reset(): SimConfig::streaming_cores, forced
+  /// on when any stream carries a RecordSource instead of a trace.
+  bool streaming_run_ = false;
   std::optional<Cache> l2_;
   std::optional<MshrFile> mshr_;
   std::optional<MemoryController> memory_;

@@ -70,11 +70,39 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
   // storage so a later wider run can reuse it.
   active_ = streams.size();
   if (cores_.size() < active_) cores_.resize(active_);
+
+  // Pick the feed for this run: the streaming engine is forced whenever any
+  // stream has no materialized trace to index.
+  bool any_source_only = false;
+  for (const CoreStream& s : streams) {
+    if (s.trace == nullptr) any_source_only = true;
+  }
+  streaming_run_ = config_.streaming_cores || any_source_only;
+
   for (std::size_t i = 0; i < active_; ++i) {
     CoreState& core = cores_[i];
-    SPF_ASSERT(streams[i].trace != nullptr, "core stream without a trace");
+    SPF_ASSERT(streams[i].trace != nullptr || streams[i].source != nullptr,
+               "core stream needs a trace or a record source");
     core.trace = streams[i].trace;
+    core.source = streams[i].source;
     core.cursor = 0;
+    if (streaming_run_) {
+      if (core.source != nullptr) {
+        core.source->reset();
+      } else {
+        // Trace-backed stream under the streaming engine: the whole buffer
+        // is one window, so the feed is the buffer read it replaces.
+        core.buffer_source.rebind(core.trace->records());
+        core.source = &core.buffer_source;
+      }
+      core.window = core.source->next_window();
+      core.win_pos = 0;
+    } else {
+      SPF_ASSERT(core.trace != nullptr,
+                 "buffer engine cannot feed a source-only stream");
+      core.window = {};
+      core.win_pos = 0;
+    }
     core.clock = 0;
     core.outer_iter = 0;
     core.started = false;
@@ -100,18 +128,26 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
     core.gate_leader_round = 0;
     core.gate_leader_outer_seen = 0;
     core.gate_leader_started_seen = false;
-    refresh_gate_round(core);
-    if (core.cursor < core.trace->size()) {
-      core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+    if (streaming_run_) {
+      refresh_gate_round<true>(core);
+      if (!feed_done<true>(core)) {
+        core.next_time = core.clock + feed_pending<true>(core).compute_gap;
+      }
+    } else {
+      refresh_gate_round<false>(core);
+      if (!feed_done<false>(core)) {
+        core.next_time = core.clock + feed_pending<false>(core).compute_gap;
+      }
     }
   }
 }
 
+template <bool Streaming>
 void CmpSimulator::refresh_gate_round(CoreState& core) const {
-  if (core.sync && core.cursor < core.trace->size()) {
+  if (core.sync && !feed_done<Streaming>(core)) {
     // Consecutive records usually share an outer iteration; divide only when
     // it actually changed.
-    const std::uint32_t outer = (*core.trace)[core.cursor].outer_iter;
+    const std::uint32_t outer = feed_pending<Streaming>(core).outer_iter;
     if (outer != core.gate_next_outer_seen) {
       core.gate_next_outer_seen = outer;
       core.gate_next_round = outer / core.sync->round_iters;
@@ -119,10 +155,11 @@ void CmpSimulator::refresh_gate_round(CoreState& core) const {
   }
 }
 
+template <bool Streaming>
 bool CmpSimulator::gated(CoreState& core) const {
-  if (!core.sync || core.cursor >= core.trace->size()) return false;
+  if (!core.sync || feed_done<Streaming>(core)) return false;
   const CoreState& leader = cores_[core.sync->leader];
-  if (leader.cursor >= leader.trace->size()) return false;  // leader done: open
+  if (feed_done<Streaming>(leader)) return false;  // leader done: open
   // gate_next_round is maintained on every cursor move; the leader-round
   // division reruns only when the leader's progress changed since last asked.
   const std::uint32_t next_round = core.gate_next_round;
@@ -143,9 +180,9 @@ SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
   // The batched engine tracks gated-core leaders in a 64-bit mask; wider
   // topologies (none exist today) take the reference engine.
   if (config_.batched_replay && active_ <= 64) {
-    run_loop_batched();
+    streaming_run_ ? run_loop_batched<true>() : run_loop_batched<false>();
   } else {
-    run_loop_scalar();
+    streaming_run_ ? run_loop_scalar<true>() : run_loop_scalar<false>();
   }
 
   // Install every still-outstanding fill so final cache state and pollution
@@ -178,6 +215,7 @@ SimResult CmpSimulator::run(const SimConfig& config,
   return run(streams);
 }
 
+template <bool Streaming>
 void CmpSimulator::run_loop_scalar() {
   for (;;) {
     CoreId pick = std::numeric_limits<CoreId>::max();
@@ -185,9 +223,9 @@ void CmpSimulator::run_loop_scalar() {
     bool any_remaining = false;
     for (CoreId i = 0; i < active_; ++i) {
       CoreState& core = cores_[i];
-      if (core.cursor >= core.trace->size()) continue;
+      if (feed_done<Streaming>(core)) continue;
       any_remaining = true;
-      if (gated(core)) {
+      if (gated<Streaming>(core)) {
         core.was_gated = true;
         continue;
       }
@@ -196,7 +234,7 @@ void CmpSimulator::run_loop_scalar() {
         // moment the leader crossed into the round.
         core.clock = std::max(core.clock, cores_[core.sync->leader].clock);
         core.was_gated = false;
-        core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+        core.next_time = core.clock + feed_pending<Streaming>(core).compute_gap;
       }
       // Order cores by when their next access actually happens (current
       // clock plus the pending record's compute gap, cached as next_time),
@@ -209,10 +247,11 @@ void CmpSimulator::run_loop_scalar() {
     if (!any_remaining) break;
     SPF_ASSERT(pick != std::numeric_limits<CoreId>::max(),
                "all remaining cores gated: sync cycle");
-    step(pick);
+    step<Streaming>(pick);
   }
 }
 
+template <bool Streaming>
 void CmpSimulator::run_loop_batched() {
   for (;;) {
     CoreId pick = std::numeric_limits<CoreId>::max();
@@ -221,9 +260,9 @@ void CmpSimulator::run_loop_batched() {
     std::uint64_t gated_leaders = 0;  // leaders some gated core waits on
     for (CoreId i = 0; i < active_; ++i) {
       CoreState& core = cores_[i];
-      if (core.cursor >= core.trace->size()) continue;
+      if (feed_done<Streaming>(core)) continue;
       any_remaining = true;
-      if (gated(core)) {
+      if (gated<Streaming>(core)) {
         core.was_gated = true;
         gated_leaders |= std::uint64_t{1} << core.sync->leader;
         continue;
@@ -231,7 +270,7 @@ void CmpSimulator::run_loop_batched() {
       if (core.was_gated) {
         core.clock = std::max(core.clock, cores_[core.sync->leader].clock);
         core.was_gated = false;
-        core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+        core.next_time = core.clock + feed_pending<Streaming>(core).compute_gap;
       }
       if (core.next_time < best) {
         best = core.next_time;
@@ -253,7 +292,7 @@ void CmpSimulator::run_loop_batched() {
     for (CoreId i = 0; i < active_; ++i) {
       if (i == pick) continue;
       const CoreState& core = cores_[i];
-      if (core.cursor >= core.trace->size() || core.was_gated) continue;
+      if (feed_done<Streaming>(core) || core.was_gated) continue;
       if (i < pick) {
         limit_lo = std::min(limit_lo, core.next_time);
       } else {
@@ -261,10 +300,11 @@ void CmpSimulator::run_loop_batched() {
       }
     }
     const bool leader_sensitive = ((gated_leaders >> pick) & 1) != 0;
-    step_batch(pick, limit_lo, limit_hi, leader_sensitive);
+    step_batch<Streaming>(pick, limit_lo, limit_hi, leader_sensitive);
   }
 }
 
+template <bool Streaming>
 void CmpSimulator::step(CoreId id) {
   CoreState& core = cores_[id];
   if (config_.occupancy_sample_interval != 0 &&
@@ -275,10 +315,10 @@ void CmpSimulator::step(CoreId id) {
       next_occupancy_sample_ += config_.occupancy_sample_interval;
     }
   }
-  const TraceRecord& rec = (*core.trace)[core.cursor++];
+  const TraceRecord rec = feed_consume<Streaming>(core);
   core.outer_iter = rec.outer_iter;
   core.started = true;
-  refresh_gate_round(core);
+  refresh_gate_round<Streaming>(core);
 
   const Cycle start = core.clock + rec.compute_gap;
   if (rec.kind() == AccessKind::kPrefetch) {
@@ -286,16 +326,15 @@ void CmpSimulator::step(CoreId id) {
   } else {
     core.clock = demand_access(core, id, rec, start);
   }
-  if (core.cursor < core.trace->size()) {
-    core.next_time = core.clock + (*core.trace)[core.cursor].compute_gap;
+  if (!feed_done<Streaming>(core)) {
+    core.next_time = core.clock + feed_pending<Streaming>(core).compute_gap;
   }
 }
 
+template <bool Streaming>
 void CmpSimulator::step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
                               bool leader_sensitive) {
   CoreState& core = cores_[id];
-  const TraceBuffer& trace = *core.trace;
-  const std::size_t n = trace.size();
   const bool self_sync = core.sync.has_value();
   const bool sampling = config_.occupancy_sample_interval != 0;
   // Invariant at the top of each iteration: a full scheduler round run now
@@ -308,7 +347,7 @@ void CmpSimulator::step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
         next_occupancy_sample_ += config_.occupancy_sample_interval;
       }
     }
-    const TraceRecord& rec = trace[core.cursor++];
+    const TraceRecord rec = feed_consume<Streaming>(core);
     // A gated follower re-examines this core's progress whenever its outer
     // iteration advances or it takes its very first record; the batch must
     // pause at those points so the follower resumes at the same instant the
@@ -318,7 +357,7 @@ void CmpSimulator::step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
         (!core.started || rec.outer_iter != core.outer_iter);
     core.outer_iter = rec.outer_iter;
     core.started = true;
-    if (self_sync) refresh_gate_round(core);
+    if (self_sync) refresh_gate_round<Streaming>(core);
 
     const Cycle start = core.clock + rec.compute_gap;
     if (rec.kind() == AccessKind::kPrefetch) {
@@ -326,10 +365,11 @@ void CmpSimulator::step_batch(CoreId id, Cycle limit_lo, Cycle limit_hi,
     } else {
       core.clock = demand_access(core, id, rec, start);
     }
-    if (core.cursor >= n) return;
-    core.next_time = core.clock + trace[core.cursor].compute_gap;
+    if (feed_done<Streaming>(core)) return;
+    core.next_time = core.clock + feed_pending<Streaming>(core).compute_gap;
     if (gate_event) return;
-    if (self_sync && trace[core.cursor].outer_iter != core.outer_iter) {
+    if (self_sync &&
+        feed_pending<Streaming>(core).outer_iter != core.outer_iter) {
       // The pending record may open a new round of this core's own sync:
       // the scheduler must re-evaluate gated() before it issues.
       return;

@@ -21,10 +21,18 @@
 // derived streams are computed on the fly with zero trace-record storage —
 // the differential harness (tests/trace_stream_differential_test.cpp) pins
 // every streaming path bit-identical to its materializing reference.
+//
+// RecordSource (below) is the type-erased pull seam the CMP simulator
+// consumes: a windowed view over any cursor (CursorWindowSource) or over a
+// materialized buffer (BufferCursor), giving the scheduler its bounded peek
+// lookahead without dictating where the records come from. See
+// docs/simulator.md "Cursor-fed cores & the peek window".
 #pragma once
 
+#include <array>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -40,6 +48,18 @@ concept TraceCursor = requires(C c, const C cc) {
   c.advance();
   c.reset();
 };
+
+/// Optional bulk refinement of TraceCursor: fill(dst, cap) writes up to `cap`
+/// records into `dst` and advances past them, returning the count written —
+/// observationally equivalent to `cap` repetitions of {current(), advance()},
+/// just without the per-record call structure. Window adaptors
+/// (CursorWindowSource below) prefer it when present, so transforming cursors
+/// can run their scan as one tight loop straight into the window storage.
+template <typename C>
+concept BulkTraceCursor =
+    TraceCursor<C> && requires(C c, TraceRecord* dst, std::size_t cap) {
+      { c.fill(dst, cap) } -> std::convertible_to<std::size_t>;
+    };
 
 /// Cursor over an in-memory record sequence (a TraceBuffer or any span of
 /// records). Does not own the storage; the underlying buffer must outlive it.
@@ -125,6 +145,116 @@ class MergeByIterCursor {
   std::tuple<Cursors...> cursors_;
   const TraceRecord* current_ = nullptr;
   std::size_t active_ = 0;
+};
+
+/// Type-erased pull seam between record producers and the CMP simulator.
+///
+/// A RecordSource hands out its stream as a sequence of contiguous *windows*:
+/// each next_window() call invalidates the previous window and returns the
+/// records immediately following those already served (empty span = stream
+/// exhausted). The consumer keeps a position inside the current window — that
+/// position *is* the scheduler's bounded lookahead: the pending record (and
+/// anything else still inside the window) is peekable without consuming, and
+/// peek distance is bounded by the window size. Lookahead never spans a
+/// window boundary, so sources only ever hold one window's worth of storage.
+///
+/// reset() rewinds to the start of the stream; the previously served window
+/// is invalidated. Sources are single-consumer and not thread-safe.
+class RecordSource {
+ public:
+  RecordSource() = default;
+  virtual ~RecordSource() = default;
+  RecordSource(const RecordSource&) = delete;
+  RecordSource& operator=(const RecordSource&) = delete;
+  // Movable so concrete sources can live by value inside growable containers
+  // (the simulator's per-core feed slots); a moved-from source is only good
+  // for destruction or reassignment.
+  RecordSource(RecordSource&&) = default;
+  RecordSource& operator=(RecordSource&&) = default;
+
+  [[nodiscard]] virtual std::span<const TraceRecord> next_window() = 0;
+  virtual void reset() = 0;
+};
+
+/// The materialized path as a special case of the pull seam: serves the whole
+/// in-memory record sequence as a single window. Feeding a simulator core
+/// from a BufferCursor therefore costs one virtual call per run and zero
+/// copies — reading through the window is reading the buffer. Does not own
+/// the storage; the underlying buffer must outlive the cursor.
+class BufferCursor final : public RecordSource {
+ public:
+  BufferCursor() = default;
+  explicit BufferCursor(std::span<const TraceRecord> records) noexcept
+      : records_(records) {}
+  explicit BufferCursor(const TraceBuffer& trace) noexcept
+      : records_(trace.records()) {}
+
+  /// Repoint at a different record sequence (and rewind). The simulator's
+  /// per-core feed slots reuse one BufferCursor across runs this way.
+  void rebind(std::span<const TraceRecord> records) noexcept {
+    records_ = records;
+    served_ = false;
+  }
+
+  [[nodiscard]] std::span<const TraceRecord> next_window() override {
+    if (served_) return {};
+    served_ = true;
+    return records_;
+  }
+  void reset() override { served_ = false; }
+
+ private:
+  std::span<const TraceRecord> records_{};
+  bool served_ = false;
+};
+
+/// Ring-buffer-backed window over any TraceCursor: each refill synthesizes up
+/// to WindowN records from the cursor into fixed storage and serves them as
+/// the next window. This is how lazily computed streams (HelperViewCursor)
+/// feed the simulator without ever materializing a trace — the ring is the
+/// only record storage, it is reused for every window, and it is plain
+/// member storage, so the trace_hooks::record_allocations() counter stays
+/// flat no matter how long the stream is.
+///
+/// WindowN bounds the consumer's peek distance (see RecordSource) and sets
+/// the refill cadence: larger windows mean fewer, longer synthesis bursts
+/// interrupting the consumer, which amortizes the burst's cache disturbance
+/// better at the price of ring residency (the 256-record default is one 4 KiB
+/// L1 page; the SP helper feed measures fastest at 4096 — see
+/// ExperimentContext::kHelperFeedWindow).
+template <TraceCursor C, std::size_t WindowN = 256>
+class CursorWindowSource final : public RecordSource {
+  static_assert(WindowN >= 1, "window must hold at least the pending record");
+
+ public:
+  explicit CursorWindowSource(C cursor) : cursor_(std::move(cursor)) {}
+
+  [[nodiscard]] std::span<const TraceRecord> next_window() override {
+    std::size_t n = 0;
+    if constexpr (BulkTraceCursor<C>) {
+      n = cursor_.fill(ring_.data(), WindowN);
+    } else {
+      while (n < WindowN && !cursor_.done()) {
+        ring_[n++] = cursor_.current();
+        cursor_.advance();
+      }
+    }
+    served_ += n;
+    return {ring_.data(), n};
+  }
+  void reset() override {
+    cursor_.reset();
+    served_ = 0;
+  }
+
+  /// Records handed out since construction/reset() — how large the stream a
+  /// consumer pulled would have been, had it been materialized.
+  [[nodiscard]] std::uint64_t records_served() const noexcept { return served_; }
+
+ private:
+  C cursor_;
+  std::uint64_t served_ = 0;
+  std::array<TraceRecord, WindowN> ring_{};
 };
 
 }  // namespace spf

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir_fuzz_util.hpp"
+#include "sim_test_util.hpp"
 #include "spf/core/helper_gen.hpp"
 #include "spf/core/sp_params.hpp"
 #include "spf/ir/interp.hpp"
@@ -20,80 +21,7 @@
 namespace spf {
 namespace {
 
-void expect_same_thread_metrics(const ThreadMetrics& a, const ThreadMetrics& b,
-                                std::size_t core) {
-  SCOPED_TRACE("core " + std::to_string(core));
-  EXPECT_EQ(a.demand_accesses, b.demand_accesses);
-  EXPECT_EQ(a.l1_hits, b.l1_hits);
-  EXPECT_EQ(a.l2_lookups, b.l2_lookups);
-  EXPECT_EQ(a.totally_hits, b.totally_hits);
-  EXPECT_EQ(a.partially_hits, b.partially_hits);
-  EXPECT_EQ(a.totally_misses, b.totally_misses);
-  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
-  EXPECT_EQ(a.prefetches_elided, b.prefetches_elided);
-  EXPECT_EQ(a.prefetches_dropped, b.prefetches_dropped);
-  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
-  EXPECT_EQ(a.finish_time, b.finish_time);
-}
-
-void expect_same_result(const SimResult& batched, const SimResult& scalar) {
-  ASSERT_EQ(batched.per_core.size(), scalar.per_core.size());
-  for (std::size_t i = 0; i < batched.per_core.size(); ++i) {
-    expect_same_thread_metrics(batched.per_core[i], scalar.per_core[i], i);
-  }
-
-  EXPECT_EQ(batched.pollution.case1_reuse_displaced,
-            scalar.pollution.case1_reuse_displaced);
-  EXPECT_EQ(batched.pollution.case2_helper_displaced,
-            scalar.pollution.case2_helper_displaced);
-  EXPECT_EQ(batched.pollution.case3_hw_displaced,
-            scalar.pollution.case3_hw_displaced);
-  EXPECT_EQ(batched.pollution.prefetch_caused_evictions,
-            scalar.pollution.prefetch_caused_evictions);
-  EXPECT_EQ(batched.pollution.total_evictions, scalar.pollution.total_evictions);
-
-  EXPECT_EQ(batched.l2.lookups, scalar.l2.lookups);
-  EXPECT_EQ(batched.l2.hits, scalar.l2.hits);
-  EXPECT_EQ(batched.l2.misses, scalar.l2.misses);
-  EXPECT_EQ(batched.l2.fills, scalar.l2.fills);
-  EXPECT_EQ(batched.l2.evictions, scalar.l2.evictions);
-  EXPECT_EQ(batched.l2.evicted_unused_helper, scalar.l2.evicted_unused_helper);
-  EXPECT_EQ(batched.l2.evicted_unused_hw, scalar.l2.evicted_unused_hw);
-
-  EXPECT_EQ(batched.mshr.allocations, scalar.mshr.allocations);
-  EXPECT_EQ(batched.mshr.merges, scalar.mshr.merges);
-  EXPECT_EQ(batched.mshr.demand_merges_into_prefetch,
-            scalar.mshr.demand_merges_into_prefetch);
-  EXPECT_EQ(batched.mshr.full_rejections, scalar.mshr.full_rejections);
-  EXPECT_EQ(batched.mshr.peak_occupancy, scalar.mshr.peak_occupancy);
-
-  EXPECT_EQ(batched.memory.requests, scalar.memory.requests);
-  for (int o = 0; o < 3; ++o) {
-    EXPECT_EQ(batched.memory.requests_by_origin[o],
-              scalar.memory.requests_by_origin[o]);
-  }
-  EXPECT_EQ(batched.memory.writebacks, scalar.memory.writebacks);
-  EXPECT_EQ(batched.memory.total_queue_delay, scalar.memory.total_queue_delay);
-  EXPECT_EQ(batched.memory.busy_cycles, scalar.memory.busy_cycles);
-
-  EXPECT_EQ(batched.hw_prefetches_issued, scalar.hw_prefetches_issued);
-  EXPECT_EQ(batched.polluted_set_count, scalar.polluted_set_count);
-  EXPECT_EQ(batched.top_polluted_sets, scalar.top_polluted_sets);
-  EXPECT_EQ(batched.makespan, scalar.makespan);
-
-  ASSERT_EQ(batched.occupancy.samples.size(), scalar.occupancy.samples.size());
-  for (std::size_t i = 0; i < batched.occupancy.samples.size(); ++i) {
-    const OccupancySample& x = batched.occupancy.samples[i];
-    const OccupancySample& y = scalar.occupancy.samples[i];
-    SCOPED_TRACE("occupancy sample " + std::to_string(i));
-    EXPECT_EQ(x.when, y.when);
-    EXPECT_EQ(x.demand_lines, y.demand_lines);
-    EXPECT_EQ(x.helper_used, y.helper_used);
-    EXPECT_EQ(x.helper_unused, y.helper_unused);
-    EXPECT_EQ(x.hw_used, y.hw_used);
-    EXPECT_EQ(x.hw_unused, y.hw_unused);
-  }
-}
+using test::expect_same_result;
 
 /// Runs identical streams through both engines and compares everything.
 void run_both_and_compare(SimConfig config,

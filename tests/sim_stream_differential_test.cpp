@@ -1,0 +1,251 @@
+// Differential test of the simulator's two record feeds (docs/simulator.md
+// "Cursor-fed cores & the peek window"): every SimResult field must be
+// identical whether the helper core replays a materialized helper trace
+// through the buffer-indexed reference engine or pulls lazily synthesized
+// records through the RecordSource window (SimConfig::streaming_cores, the
+// fused default). Structured em3d/mcf/mst workloads drive all four
+// feed × engine combinations, window sizes down to a single record stress
+// refill at every peek, and the ExperimentContext seam is pinned at the
+// SpRunSummary level — including the fused path's zero trace-record
+// allocation contract (trace_hooks::record_allocations). A scalar-tags ctest
+// variant replays the suite under SPF_FORCE_SCALAR_TAGS=1, and a TSan
+// variant runs it race-instrumented when SPF_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "spf/core/experiment_context.hpp"
+#include "spf/core/helper_gen.hpp"
+#include "spf/core/sp_params.hpp"
+#include "spf/sim/simulator.hpp"
+#include "spf/workloads/em3d.hpp"
+#include "spf/workloads/mcf.hpp"
+#include "spf/workloads/mst.hpp"
+
+namespace spf {
+namespace {
+
+using test::expect_same_result;
+
+/// Small shared L2 so the workloads generate misses, evictions and MSHR
+/// pressure instead of fitting in cache (mirrors replay_differential_test).
+SimConfig small_machine() {
+  SimConfig config;
+  config.l1 = CacheGeometry(4 * 1024, 4, 64);
+  config.l2 = CacheGeometry(64 * 1024, 8, 64);
+  config.l2_mshrs = 8;
+  return config;
+}
+
+/// The materialized reference cell: helper trace generated up front, both
+/// cores buffer-indexed.
+SimResult run_materialized(const SimConfig& base, const TraceBuffer& trace,
+                           const SpParams& params, bool batched) {
+  SimConfig config = base;
+  config.streaming_cores = false;
+  config.batched_replay = batched;
+  const TraceBuffer helper = make_helper_trace(trace, params);
+  CmpSimulator sim(config);
+  return sim.run(
+      {CoreStream{.trace = &trace, .origin = FillOrigin::kDemand,
+                  .sync = std::nullopt},
+       CoreStream{.trace = &helper, .origin = FillOrigin::kHelper,
+                  .sync = RoundSync{.leader = 0,
+                                    .round_iters = params.round()}}});
+}
+
+/// The fused cell: helper records synthesized through a HelperViewCursor
+/// window during replay, main core fed through the same streaming engine.
+template <std::size_t WindowN>
+SimResult run_fused(const SimConfig& base, const TraceBuffer& trace,
+                    const SpParams& params, bool batched) {
+  SimConfig config = base;
+  config.streaming_cores = true;
+  config.batched_replay = batched;
+  CursorWindowSource<HelperViewCursor, WindowN> feed(
+      HelperViewCursor(trace, params));
+  CmpSimulator sim(config);
+  const SimResult result = sim.run(
+      {CoreStream{.trace = &trace, .origin = FillOrigin::kDemand,
+                  .sync = std::nullopt},
+       CoreStream{.source = &feed, .origin = FillOrigin::kHelper,
+                  .sync = RoundSync{.leader = 0,
+                                    .round_iters = params.round()}}});
+  // The window source must have served exactly the materialized stream's
+  // record count — feed_consume's refill invariant ends the stream only when
+  // the cursor is exhausted.
+  EXPECT_EQ(feed.records_served(), make_helper_trace(trace, params).size());
+  return result;
+}
+
+void pin_all_feed_variants(const TraceBuffer& trace, const SpParams& params,
+                           const SimConfig& base) {
+  const SimResult reference = run_materialized(base, trace, params, true);
+
+  {
+    SCOPED_TRACE("fused batched");
+    expect_same_result(reference, run_fused<4096>(base, trace, params, true));
+  }
+  {
+    SCOPED_TRACE("fused record-at-a-time");
+    expect_same_result(reference, run_fused<4096>(base, trace, params, false));
+  }
+  {
+    SCOPED_TRACE("materialized record-at-a-time");
+    expect_same_result(reference, run_materialized(base, trace, params, false));
+  }
+  {
+    // One-record windows put a refill behind every consume, so the pending
+    // peek crosses a window boundary at every step.
+    SCOPED_TRACE("fused single-record window");
+    expect_same_result(reference, run_fused<1>(base, trace, params, true));
+  }
+  {
+    // A window size coprime to the round structure lands refills mid-round.
+    SCOPED_TRACE("fused tiny window");
+    expect_same_result(reference, run_fused<7>(base, trace, params, true));
+  }
+
+  // Materialized traces under the streaming engine (BufferCursor windows):
+  // the remaining feed × storage combination.
+  {
+    SCOPED_TRACE("buffer streams through streaming engine");
+    SimConfig config = base;
+    config.streaming_cores = true;
+    const TraceBuffer helper = make_helper_trace(trace, params);
+    CmpSimulator sim(config);
+    const SimResult streamed = sim.run(
+        {CoreStream{.trace = &trace, .origin = FillOrigin::kDemand,
+                    .sync = std::nullopt},
+         CoreStream{.trace = &helper, .origin = FillOrigin::kHelper,
+                    .sync = RoundSync{.leader = 0,
+                                      .round_iters = params.round()}}});
+    expect_same_result(reference, streamed);
+  }
+}
+
+TEST(SimStreamDifferentialTest, Em3dAllFeedVariantsAgree) {
+  Em3dConfig wl;
+  wl.nodes = 3000;
+  wl.arity = 16;
+  wl.passes = 1;
+  const TraceBuffer trace = Em3dWorkload(wl).emit_trace();
+  pin_all_feed_variants(trace, SpParams::from_distance_rp(8, 0.5),
+                        small_machine());
+}
+
+TEST(SimStreamDifferentialTest, McfAllFeedVariantsAgree) {
+  McfConfig wl;
+  wl.nodes = 1200;
+  wl.arcs = 7000;
+  wl.passes = 1;
+  const TraceBuffer trace = McfWorkload(wl).emit_trace();
+  pin_all_feed_variants(trace, SpParams::from_distance_rp(4, 1.0),
+                        small_machine());
+}
+
+TEST(SimStreamDifferentialTest, MstAllFeedVariantsAgree) {
+  MstConfig wl;
+  wl.vertices = 500;
+  wl.degree = 8;
+  wl.buckets = 32;
+  const TraceBuffer trace = MstWorkload(wl).emit_trace();
+  pin_all_feed_variants(trace, SpParams::from_distance_rp(6, 0.5),
+                        small_machine());
+}
+
+TEST(SimStreamDifferentialTest, OccupancySamplingAgreesAcrossFeeds) {
+  Em3dConfig wl;
+  wl.nodes = 2000;
+  wl.arity = 8;
+  wl.passes = 1;
+  const TraceBuffer trace = Em3dWorkload(wl).emit_trace();
+  const SpParams params = SpParams::from_distance_rp(8, 0.5);
+  SimConfig config = small_machine();
+  // Small interval: sample points land mid-window, so the streaming feed must
+  // honor them at the same records the buffer feed does.
+  config.occupancy_sample_interval = 512;
+  expect_same_result(run_materialized(config, trace, params, true),
+                     run_fused<64>(config, trace, params, true));
+}
+
+// The ExperimentContext seam: run_sp_once's fused path (helper_feed_) against
+// its materialized reference path, pinned at the SpRunSummary level — the
+// same numbers sweep cells and perf_smoke's replay_checksum are built from —
+// plus the fused path's zero-allocation contract.
+TEST(SimStreamDifferentialTest, ExperimentContextPathsAgree) {
+  Em3dConfig wl;
+  wl.nodes = 3000;
+  wl.arity = 16;
+  wl.passes = 1;
+  const TraceBuffer trace = Em3dWorkload(wl).emit_trace();
+
+  SpExperimentConfig fused_cfg;  // streaming_cores defaults on
+  fused_cfg.sim = small_machine();
+  fused_cfg.params = SpParams::from_distance_rp(8, 0.5);
+  SpExperimentConfig mat_cfg = fused_cfg;
+  mat_cfg.sim.streaming_cores = false;
+
+  ExperimentContext ctx;
+  // Warm-up pass: the materialized path's helper scratch reaches capacity, so
+  // the timed-path contract below (zero record allocations while fused) is
+  // not confounded by reference-path growth.
+  const SpRunSummary warm = ctx.run_sp_once(trace, mat_cfg);
+
+  const std::uint64_t allocs_before = trace_hooks::record_allocations();
+  const SpRunSummary fused = ctx.run_sp_once(trace, fused_cfg);
+  EXPECT_EQ(trace_hooks::record_allocations() - allocs_before, 0u)
+      << "fused replay must not grow trace-record storage";
+  const SpRunSummary mat = ctx.run_sp_once(trace, mat_cfg);
+
+  EXPECT_EQ(warm.runtime, fused.runtime);
+  EXPECT_EQ(fused.runtime, mat.runtime);
+  EXPECT_EQ(fused.l2_lookups, mat.l2_lookups);
+  EXPECT_EQ(fused.totally_hits, mat.totally_hits);
+  EXPECT_EQ(fused.partially_hits, mat.partially_hits);
+  EXPECT_EQ(fused.totally_misses, mat.totally_misses);
+  EXPECT_EQ(fused.memory_requests, mat.memory_requests);
+  EXPECT_EQ(fused.helper_finish, mat.helper_finish);
+  EXPECT_EQ(fused.pollution.case2_helper_displaced,
+            mat.pollution.case2_helper_displaced);
+  EXPECT_EQ(fused.pollution.total_evictions, mat.pollution.total_evictions);
+}
+
+// Prefetch-instruction helper kind flows through the cursor transform too.
+TEST(SimStreamDifferentialTest, PrefetchInstructionHelperAgrees) {
+  Em3dConfig wl;
+  wl.nodes = 2000;
+  wl.arity = 8;
+  wl.passes = 1;
+  const TraceBuffer trace = Em3dWorkload(wl).emit_trace();
+  const SpParams params = SpParams::from_distance_rp(4, 0.5);
+  const HelperGenOptions options{.use_prefetch_instructions = true};
+
+  SimConfig config = small_machine();
+  config.streaming_cores = false;
+  const TraceBuffer helper = make_helper_trace(trace, params, options);
+  CmpSimulator mat_sim(config);
+  const SimResult reference = mat_sim.run(
+      {CoreStream{.trace = &trace, .origin = FillOrigin::kDemand,
+                  .sync = std::nullopt},
+       CoreStream{.trace = &helper, .origin = FillOrigin::kHelper,
+                  .sync = RoundSync{.leader = 0,
+                                    .round_iters = params.round()}}});
+
+  config.streaming_cores = true;
+  CursorWindowSource<HelperViewCursor, 128> feed(
+      HelperViewCursor(trace, params, options));
+  CmpSimulator fused_sim(config);
+  const SimResult fused = fused_sim.run(
+      {CoreStream{.trace = &trace, .origin = FillOrigin::kDemand,
+                  .sync = std::nullopt},
+       CoreStream{.source = &feed, .origin = FillOrigin::kHelper,
+                  .sync = RoundSync{.leader = 0,
+                                    .round_iters = params.round()}}});
+  expect_same_result(reference, fused);
+}
+
+}  // namespace
+}  // namespace spf

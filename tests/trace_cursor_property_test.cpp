@@ -12,6 +12,8 @@
 //   * HelperViewCursor == make_helper_trace across randomized SpParams,
 //     covering a_ski = 0, round > trace length, empty traces, prefetch-
 //     instruction helpers, and the a_pre = 0 assertion (both paths die);
+//   * HelperViewCursor::fill (the bulk window refill) == the advance loop
+//     for arbitrary chunk sizes;
 //   * re-anchored HelperViewCursor == the materialized helper after the
 //     refinement's outer_iter -= A_SKI mutation pass;
 //   * reset() replays the identical stream.
@@ -153,6 +155,36 @@ TEST_P(HelperViewPropertyTest, CursorEqualsMaterializedHelper) {
 
     cursor.reset();
     EXPECT_EQ(drain(cursor), to_vector(helper));
+  }
+}
+
+TEST_P(HelperViewPropertyTest, BulkFillEqualsAdvanceLoop) {
+  // fill() (the BulkTraceCursor refinement CursorWindowSource prefers) must
+  // hand out exactly the advance-loop stream, for any chunk size — including
+  // chunks that end mid-round and a final short chunk.
+  Xoshiro256 rng(GetParam() ^ 0xda942042e4dd58b5ull);
+  const TraceBuffer main_trace = random_trace(GetParam() + 2000, 300);
+  for (int round = 0; round < 8; ++round) {
+    const SpParams params = random_params(rng);
+    HelperGenOptions options;
+    options.use_prefetch_instructions = rng.below(2) == 1;
+    options.helper_compute_gap = static_cast<std::uint16_t>(rng.below(8));
+    const std::size_t chunk = 1 + rng.below(17);
+    SCOPED_TRACE(params.to_string() + " chunk=" + std::to_string(chunk));
+
+    HelperViewCursor reference(main_trace, params, options);
+    const std::vector<TraceRecord> expected = drain(reference);
+
+    HelperViewCursor cursor(main_trace, params, options);
+    std::vector<TraceRecord> bulk;
+    std::vector<TraceRecord> buf(chunk);
+    while (!cursor.done()) {
+      const std::size_t n = cursor.fill(buf.data(), buf.size());
+      ASSERT_GT(n, 0u);
+      bulk.insert(bulk.end(), buf.begin(), buf.begin() + n);
+    }
+    EXPECT_EQ(cursor.fill(buf.data(), buf.size()), 0u);  // exhausted
+    EXPECT_EQ(bulk, expected);
   }
 }
 
