@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     frozen.min_distance = distance;
     frozen.max_distance = distance;
     frozen.initial_distance = distance;
-    return run_adaptive_experiment(trace, base, frozen, interval);
+    frozen.interval_iters = interval;
+    return run_adaptive_experiment(trace, base, frozen);
   };
 
   AdaptiveConfig acfg;
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   acfg.max_distance = bad;
   acfg.initial_distance = bad;
   acfg.increase_step = std::max(1u, good / 8);
+  acfg.interval_iters = interval;
 
   struct Entry {
     std::string name;
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
                      run_static(bad)});
   std::cerr << ".";
   entries.push_back({"adaptive (start at 8x bound)",
-                     run_adaptive_experiment(trace, base, acfg, interval)});
+                     run_adaptive_experiment(trace, base, acfg)});
   std::cerr << ".\n";
 
   Table t({"configuration", "total runtime (cycles)", "totally misses",

@@ -201,6 +201,45 @@ int main(int argc, char** argv) {
         stream.upper_limit + stream.with_helper_min_sa.value_or(0);
   }
 
+  // ---- adaptive: interval-chunked replay, cold vs warm intervals ---------
+  // The streaming adaptive path shares the fused-replay contract: segments
+  // replay through cursor windows over the shared trace, so no per-interval
+  // trace is ever materialized (zero trace-record allocations, hard-checked).
+  SpExperimentConfig adaptive_base;  // params stay default: run_adaptive
+  adaptive_base.sim.l2 = scale.l2;   // derives them per interval
+  AdaptiveConfig acfg;
+  acfg.initial_distance = 16;
+  acfg.max_distance = std::max(1u, base_bound.upper_limit);
+  acfg.interval_iters = 1000;
+  double adaptive_sec = 0.0;
+  double adaptive_warm_sec = 0.0;
+  std::uint64_t adaptive_record_allocs = 0;
+  AdaptiveRunResult adaptive_cold;
+  for (unsigned r = 0; r < reps; ++r) {
+    const std::uint64_t allocs_before = trace_hooks::record_allocations();
+    const auto t_cold = Clock::now();
+    adaptive_cold = replay_ctx.run_adaptive(trace, adaptive_base, acfg);
+    adaptive_sec += seconds_since(t_cold);
+
+    AdaptiveConfig warm_cfg = acfg;
+    warm_cfg.warm_intervals = true;
+    const auto t_warm = Clock::now();
+    const AdaptiveRunResult warm =
+        replay_ctx.run_adaptive(trace, adaptive_base, warm_cfg);
+    adaptive_warm_sec += seconds_since(t_warm);
+    adaptive_record_allocs += trace_hooks::record_allocations() - allocs_before;
+    if (warm.intervals != adaptive_cold.intervals) {
+      std::cerr << "perf_smoke: warm/cold adaptive interval count mismatch ("
+                << warm.intervals << " vs " << adaptive_cold.intervals << ")\n";
+      return 1;
+    }
+  }
+  if (adaptive_record_allocs != 0) {
+    std::cerr << "perf_smoke: adaptive replay grew trace-record storage "
+              << adaptive_record_allocs << " times (contract: 0)\n";
+    return 1;
+  }
+
   // ---- sweep: small orchestrated 3-workload grid -------------------------
   orchestrate::SweepSpec spec;
   Em3dConfig se = em3d_cfg;
@@ -354,6 +393,15 @@ int main(int argc, char** argv) {
       .add("refine_streaming_sec", refine_stream_sec / reps)
       .add("distance_bound_refine_speedup", refine_speedup)
       .add("refine_upper_limit", base_bound.upper_limit)
+      .add("adaptive_sec", adaptive_sec / reps)
+      .add("adaptive_warm_sec", adaptive_warm_sec / reps)
+      .add("adaptive_intervals", adaptive_cold.intervals)
+      .add("adaptive_trajectory_len",
+           static_cast<std::uint64_t>(adaptive_cold.distance_trajectory.size()))
+      .add("adaptive_initial_distance", adaptive_cold.initial_distance)
+      .add("adaptive_final_distance", adaptive_cold.final_distance())
+      .add("adaptive_distance_cap", acfg.max_distance)
+      .add("adaptive_record_allocations", adaptive_record_allocs)
       .add("sweep_cells", static_cast<std::uint64_t>(sweep.cells.size()))
       .add("sweep_cells_per_sec", cells_s)
       .add("sweep_sec", sweep_sec)

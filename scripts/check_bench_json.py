@@ -17,6 +17,12 @@ Checks, per file:
   * the fused replay path performed zero trace-record allocations
     (`replay_fused_record_allocations == 0`) — the ISSUE 7 contract,
     via the trace_hooks::record_allocations hook;
+  * the adaptive interval replay honored its contracts: a non-empty
+    distance trajectory (`adaptive_trajectory_len > 0`), a final
+    distance within the controller's cap
+    (`adaptive_final_distance <= adaptive_distance_cap`), and zero
+    trace-record allocations on the streaming adaptive path
+    (`adaptive_record_allocations == 0`);
   * `telemetry_overhead_pct` is within bounds: >= 0 always (the emitter
     clamps the median-of-reps ratio), and < 25 when telemetry is
     compiled in (the documented contract is < 2 %; 25 leaves headroom
@@ -59,6 +65,14 @@ REQUIRED = {
     "refine_streaming_sec": NUMBER,
     "distance_bound_refine_speedup": NUMBER,
     "refine_upper_limit": int,
+    "adaptive_sec": NUMBER,
+    "adaptive_warm_sec": NUMBER,
+    "adaptive_intervals": int,
+    "adaptive_trajectory_len": int,
+    "adaptive_initial_distance": int,
+    "adaptive_final_distance": int,
+    "adaptive_distance_cap": int,
+    "adaptive_record_allocations": int,
     "sweep_cells": int,
     "sweep_cells_per_sec": NUMBER,
     "sweep_sec": NUMBER,
@@ -88,6 +102,12 @@ STRICTLY_POSITIVE = [
     "refine_materialized_sec",
     "refine_streaming_sec",
     "distance_bound_refine_speedup",
+    "adaptive_sec",
+    "adaptive_warm_sec",
+    "adaptive_intervals",
+    "adaptive_trajectory_len",
+    "adaptive_final_distance",
+    "adaptive_distance_cap",
     "sweep_cells_per_sec",
     "sweep_sec",
     "sweep_trace_memo_hits",
@@ -153,6 +173,27 @@ def check_file(path):
             "fused replay grew trace-record storage: "
             f"replay_fused_record_allocations = "
             f"{doc['replay_fused_record_allocations']} (contract: 0)",
+        )
+
+    if doc["adaptive_record_allocations"] != 0:
+        ok = fail(
+            path,
+            "adaptive replay grew trace-record storage: "
+            f"adaptive_record_allocations = "
+            f"{doc['adaptive_record_allocations']} (contract: 0)",
+        )
+    if doc["adaptive_final_distance"] > doc["adaptive_distance_cap"]:
+        ok = fail(
+            path,
+            f"adaptive_final_distance = {doc['adaptive_final_distance']} "
+            f"exceeds adaptive_distance_cap = {doc['adaptive_distance_cap']}",
+        )
+    if doc["adaptive_trajectory_len"] != doc["adaptive_intervals"]:
+        ok = fail(
+            path,
+            f"adaptive_trajectory_len = {doc['adaptive_trajectory_len']} "
+            f"!= adaptive_intervals = {doc['adaptive_intervals']} — the "
+            "trajectory must record one distance per interval",
         )
 
     pct = doc["telemetry_overhead_pct"]

@@ -86,9 +86,25 @@ if [ -f sweep_trace.json ] && command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace_json.py sweep_trace.json
 fi
 
+# Adaptive-vs-static controller ablation: every workload × the distance
+# ladder × {static, adaptive-AIMD, adaptive-capped}, JSONL artifact with the
+# per-cell distance trajectories, plus a timeline carrying the per-interval
+# adaptive.distance counter track.
+{
+  echo "=============================================================="
+  echo "== build/bench/fig_adaptive --threads=$THREADS"
+  echo "=============================================================="
+  build/bench/fig_adaptive --threads="$THREADS" --jsonl=fig_adaptive.jsonl \
+    --metrics-out=fig_adaptive_metrics.jsonl --trace-out=fig_adaptive_trace.json
+} 2>&1 | tee -a bench_output.txt
+
+if [ -f fig_adaptive_trace.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace_json.py fig_adaptive_trace.json
+fi
+
 if [[ "${1:-}" == "--paper" ]]; then
   {
-    for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior; do
+    for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior fig_adaptive; do
       echo "=============================================================="
       echo "== build/bench/$b --scale=paper --threads=$THREADS"
       echo "=============================================================="

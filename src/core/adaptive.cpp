@@ -1,8 +1,13 @@
 #include "spf/core/adaptive.hpp"
 
 #include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
 #include "spf/common/assert.hpp"
+#include "spf/core/experiment_context.hpp"
+#include "spf/telemetry/telemetry.hpp"
 
 namespace spf {
 
@@ -13,6 +18,17 @@ const char* to_string(AdaptiveAction a) noexcept {
     case AdaptiveAction::kDecrease: return "decrease";
   }
   return "?";
+}
+
+std::string AdaptiveConfig::validate() const {
+  if (min_distance < 1) return "min_distance must be >= 1";
+  if (min_distance > max_distance) {
+    return "empty distance range (min_distance > max_distance)";
+  }
+  if (increase_step < 1) return "increase_step must be >= 1";
+  if (interval_iters < 1) return "interval_iters must be >= 1";
+  if (!(rp > 0.0) || rp > 1.0) return "rp must be in (0, 1]";
+  return "";
 }
 
 FeedbackDistanceController::FeedbackDistanceController(
@@ -60,69 +76,165 @@ std::string FeedbackDistanceController::to_string() const {
 
 namespace {
 
-/// Splits `trace` into contiguous chunks of `interval_iters` outer
-/// iterations, re-basing outer_iter inside each chunk.
-std::vector<TraceBuffer> split_by_iters(const TraceBuffer& trace,
-                                        std::uint32_t interval_iters) {
-  std::vector<TraceBuffer> chunks;
+/// One observation interval's slice of the trace: records [begin, end) all
+/// fall into the same interval_iters-sized outer-iteration chunk, replayed
+/// with outer_iter re-based by `iter_base`. Boundaries replicate the
+/// pre-redesign split_by_iters exactly — a new segment starts whenever
+/// outer_iter / interval_iters changes between consecutive records — so the
+/// cold path stays bit-identical to the materializing reference.
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint32_t iter_base = 0;
+};
+
+std::vector<Segment> segment_by_iters(std::span<const TraceRecord> records,
+                                      std::uint32_t interval_iters) {
+  std::vector<Segment> segments;
   std::int64_t current_index = -1;
-  std::uint32_t chunk_base = 0;
-  for (const TraceRecord& r : trace) {
-    const std::uint32_t chunk_index = r.outer_iter / interval_iters;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::uint32_t chunk_index = records[i].outer_iter / interval_iters;
     if (static_cast<std::int64_t>(chunk_index) != current_index) {
-      chunks.emplace_back();
+      if (!segments.empty()) segments.back().end = i;
+      segments.push_back(
+          Segment{i, records.size(), chunk_index * interval_iters});
       current_index = chunk_index;
-      chunk_base = chunk_index * interval_iters;
     }
-    TraceRecord rebased = r;
-    rebased.outer_iter = r.outer_iter - chunk_base;
-    chunks.back().mutable_records().push_back(rebased);
   }
-  return chunks;
+  return segments;
+}
+
+/// The pre-redesign per-interval aggregation (helper_finish intentionally
+/// not summed — per-interval helper finish times are not additive).
+void accumulate(SpRunSummary& agg, const SpRunSummary& run) {
+  agg.runtime += run.runtime;
+  agg.l2_lookups += run.l2_lookups;
+  agg.totally_hits += run.totally_hits;
+  agg.partially_hits += run.partially_hits;
+  agg.totally_misses += run.totally_misses;
+  agg.memory_requests += run.memory_requests;
+  agg.pollution.case1_reuse_displaced += run.pollution.case1_reuse_displaced;
+  agg.pollution.case2_helper_displaced += run.pollution.case2_helper_displaced;
+  agg.pollution.case3_hw_displaced += run.pollution.case3_hw_displaced;
+  agg.pollution.prefetch_caused_evictions +=
+      run.pollution.prefetch_caused_evictions;
+  agg.pollution.total_evictions += run.pollution.total_evictions;
 }
 
 }  // namespace
 
-AdaptiveRunResult run_adaptive_experiment(const TraceBuffer& trace,
-                                          const SpExperimentConfig& base,
-                                          const AdaptiveConfig& adaptive,
-                                          std::uint32_t interval_iters,
-                                          double rp) {
-  SPF_ASSERT(interval_iters > 0, "interval must be positive");
+AdaptiveRunResult ExperimentContext::run_adaptive(
+    const TraceBuffer& main_trace, const SpExperimentConfig& base,
+    const AdaptiveConfig& adaptive) {
+  if (const std::string problem = adaptive.validate(); !problem.empty()) {
+    throw std::invalid_argument("invalid AdaptiveConfig: " + problem);
+  }
+  const SpParams default_params{};
+  if (base.params.a_ski != default_params.a_ski ||
+      base.params.a_pre != default_params.a_pre) {
+    throw std::invalid_argument(
+        "run_adaptive derives SpParams per interval from the controller's "
+        "distance and AdaptiveConfig::rp; base.params must stay default "
+        "(set AdaptiveConfig::rp / initial_distance instead)");
+  }
+  SPF_SPAN("adaptive");
+  telemetry::count(telemetry::Counter::kAdaptiveRuns);
+
   AdaptiveRunResult result;
   FeedbackDistanceController controller(adaptive);
+  result.initial_distance = controller.distance();
 
-  for (const TraceBuffer& chunk : split_by_iters(trace, interval_iters)) {
+  const std::span<const TraceRecord> records = main_trace.records();
+  SpRunSummary prev_cumulative;  // warm path: previous intervals' totals
+  bool first_interval = true;
+  for (const Segment& seg :
+       segment_by_iters(records, adaptive.interval_iters)) {
+    const std::uint32_t distance = controller.distance();
+    SPF_SPAN("adaptive.interval", "distance", distance);
+    telemetry::count(telemetry::Counter::kAdaptiveIntervals);
+    telemetry::sample("adaptive.distance", distance);
+    telemetry::gauge_max(telemetry::Gauge::kAdaptiveDistanceMax, distance);
+
     SpExperimentConfig cfg = base;
-    cfg.params = SpParams::from_distance_rp(controller.distance(), rp);
-    const SpRunSummary run = run_sp_once(chunk, cfg);
-    result.distance_trajectory.push_back(controller.distance());
+    cfg.params = SpParams::from_distance_rp(distance, adaptive.rp);
+    const std::span<const TraceRecord> segment =
+        records.subspan(seg.begin, seg.end - seg.begin);
+    telemetry::count(telemetry::Counter::kReplayRuns);
+    telemetry::count(telemetry::Counter::kReplayRecords, segment.size());
+
+    // Both cores replay through cursor windows over the shared trace — the
+    // demand core re-bases outer_iter on the fly, the helper synthesizes its
+    // stream inside replay — so no per-segment trace is ever materialized
+    // and the run allocates no trace-record storage.
+    main_feed_.emplace(RebaseViewCursor(segment, seg.iter_base));
+    helper_feed_.emplace(HelperViewCursor(segment, cfg.params, cfg.helper,
+                                          /*re_anchor=*/false, seg.iter_base));
+    const RoundSync sync{.leader = 0, .round_iters = cfg.params.round()};
+    const std::vector<CoreStream> streams = {
+        CoreStream{.source = &*main_feed_, .origin = FillOrigin::kDemand,
+                   .sync = std::nullopt},
+        CoreStream{.source = &*helper_feed_, .origin = FillOrigin::kHelper,
+                   .sync = sync},
+    };
+    const bool warm = adaptive.warm_intervals && !first_interval;
+    const SimResult sim =
+        warm ? simulator_.run_warm(streams) : simulator_.run(cfg.sim, streams);
+
+    const std::uint64_t synthesized = helper_feed_->records_served();
+    telemetry::count(telemetry::Counter::kHelperRecords, synthesized);
+    telemetry::count(telemetry::Counter::kHelperRecordsSynthesized,
+                     synthesized);
+    telemetry::count(telemetry::Counter::kHelperScratchBytesSaved,
+                     synthesized * sizeof(TraceRecord));
+
+    const SpRunSummary summary = SpRunSummary::from(sim);
+    IntervalFeedback feedback;
+    if (adaptive.warm_intervals) {
+      // Warm runs report cumulative totals; the controller wants this
+      // interval's deltas, and the final cumulative summary IS the aggregate.
+      feedback.l2_lookups = summary.l2_lookups - prev_cumulative.l2_lookups;
+      feedback.partially_hits =
+          summary.partially_hits - prev_cumulative.partially_hits;
+      feedback.totally_misses =
+          summary.totally_misses - prev_cumulative.totally_misses;
+      feedback.pollution_events = summary.pollution.total_pollution() -
+                                  prev_cumulative.pollution.total_pollution();
+      result.aggregate = summary;
+      prev_cumulative = summary;
+    } else {
+      feedback.l2_lookups = summary.l2_lookups;
+      feedback.partially_hits = summary.partially_hits;
+      feedback.totally_misses = summary.totally_misses;
+      feedback.pollution_events = summary.pollution.total_pollution();
+      accumulate(result.aggregate, summary);
+    }
+
+    result.distance_trajectory.push_back(distance);
     ++result.intervals;
-
-    result.aggregate.runtime += run.runtime;
-    result.aggregate.l2_lookups += run.l2_lookups;
-    result.aggregate.totally_hits += run.totally_hits;
-    result.aggregate.partially_hits += run.partially_hits;
-    result.aggregate.totally_misses += run.totally_misses;
-    result.aggregate.memory_requests += run.memory_requests;
-    result.aggregate.pollution.case1_reuse_displaced +=
-        run.pollution.case1_reuse_displaced;
-    result.aggregate.pollution.case2_helper_displaced +=
-        run.pollution.case2_helper_displaced;
-    result.aggregate.pollution.case3_hw_displaced +=
-        run.pollution.case3_hw_displaced;
-    result.aggregate.pollution.prefetch_caused_evictions +=
-        run.pollution.prefetch_caused_evictions;
-    result.aggregate.pollution.total_evictions += run.pollution.total_evictions;
-
-    controller.observe(IntervalFeedback{
-        .l2_lookups = run.l2_lookups,
-        .partially_hits = run.partially_hits,
-        .totally_misses = run.totally_misses,
-        .pollution_events = run.pollution.total_pollution(),
-    });
+    switch (controller.observe(feedback)) {
+      case AdaptiveAction::kIncrease:
+        telemetry::count(telemetry::Counter::kAdaptiveIncreases);
+        break;
+      case AdaptiveAction::kDecrease:
+        telemetry::count(telemetry::Counter::kAdaptiveDecreases);
+        break;
+      case AdaptiveAction::kHold:
+        telemetry::count(telemetry::Counter::kAdaptiveHolds);
+        break;
+    }
+    first_interval = false;
   }
+  result.increases = controller.increases();
+  result.decreases = controller.decreases();
+  telemetry::gauge_max(telemetry::Gauge::kArenaBytesMax, arena_.bytes_served());
   return result;
+}
+
+AdaptiveRunResult run_adaptive_experiment(const TraceBuffer& trace,
+                                          const SpExperimentConfig& base,
+                                          const AdaptiveConfig& adaptive) {
+  ExperimentContext ctx;
+  return ctx.run_adaptive(trace, base, adaptive);
 }
 
 }  // namespace spf

@@ -14,9 +14,13 @@
 //   pollution low and partial-hit share
 //     high (fills arriving late)           -> distance += step (too late)
 //   otherwise                              -> hold
+//
+// docs/adaptive.md covers the policy table, the interval-replay semantics
+// (cold vs. warm), and how the static Set-Affinity bound caps the walk.
 #pragma once
 
 #include <cstdint>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -39,6 +43,24 @@ struct AdaptiveConfig {
   /// Partially-hit share of memory accesses above which prefetches are
   /// deemed too late (data still in flight when the core arrives).
   double late_share = 0.10;
+  /// Observation interval length in outer iterations of the hot loop.
+  std::uint32_t interval_iters = 1000;
+  /// RP = A_PRE / (A_SKI + A_PRE) used to derive SpParams from the
+  /// controller's distance each interval (SpParams::from_distance_rp).
+  double rp = 0.5;
+  /// Carry simulator state (caches, MSHR, memory channels, core clocks)
+  /// across interval boundaries instead of restarting each interval cold.
+  /// The cold default is the documented approximation — and the
+  /// bit-identical reference the differential tests pin — while the warm
+  /// path removes the per-interval warmup transient. Warm aggregates are
+  /// one continuous run's totals, not a sum of independent interval runs.
+  bool warm_intervals = false;
+
+  /// Empty string if the config is runnable; otherwise a one-line reason
+  /// (the same conditions FeedbackDistanceController asserts, plus the
+  /// interval/RP fields folded in here). run_adaptive_experiment and
+  /// SweepSpec::validate surface this instead of crashing.
+  [[nodiscard]] std::string validate() const;
 };
 
 /// One observation interval's counters (deltas, not cumulative).
@@ -74,25 +96,50 @@ class FeedbackDistanceController {
   std::uint64_t decreases_ = 0;
 };
 
-/// Emulated adaptive run: cuts `trace` into `interval_iters`-sized segments,
+/// Emulated adaptive run: cuts the trace into interval_iters-sized segments,
 /// simulates each under SP at the controller's current distance, feeds the
-/// counters back, and aggregates. Segment caches start cold (documented
-/// approximation; intervals should be long enough that warmup is amortized).
+/// counters back, and aggregates. Cold intervals restart the simulator per
+/// segment; warm_intervals carries cache/MSHR state across boundaries (the
+/// aggregate is then the continuous run's cumulative summary).
 struct AdaptiveRunResult {
   SpRunSummary aggregate;
+  /// Distance in effect during each interval (so trajectory.front() is the
+  /// clamped initial distance whenever at least one interval ran).
   std::vector<std::uint32_t> distance_trajectory;
   std::uint64_t intervals = 0;
+  /// The controller's starting distance (initial_distance clamped into
+  /// [min_distance, max_distance]) — recorded even when the trace was empty
+  /// so final_distance() never degenerates to a fake "0".
+  std::uint32_t initial_distance = 0;
+  /// Controller action tallies over the whole run.
+  std::uint64_t increases = 0;
+  std::uint64_t decreases = 0;
 
   [[nodiscard]] std::uint32_t final_distance() const {
-    return distance_trajectory.empty() ? 0 : distance_trajectory.back();
+    return distance_trajectory.empty() ? initial_distance
+                                       : distance_trajectory.back();
+  }
+
+  [[nodiscard]] double mean_distance() const {
+    if (distance_trajectory.empty()) return initial_distance;
+    const std::uint64_t sum =
+        std::accumulate(distance_trajectory.begin(),
+                        distance_trajectory.end(), std::uint64_t{0});
+    return static_cast<double>(sum) /
+           static_cast<double>(distance_trajectory.size());
   }
 };
 
-/// `base.params` is ignored; the controller supplies the distance (RP is
-/// taken from `rp`). Intervals are `interval_iters` outer iterations long.
+/// Thin wrapper over a short-lived ExperimentContext (the one implementation
+/// lives in ExperimentContext::run_adaptive — hot callers that run many
+/// adaptive experiments should lease a context from ExperimentContextPool
+/// instead). The controller derives SpParams from its distance and
+/// adaptive.rp each interval, so `base.params` must be left default;
+/// a non-default value throws std::invalid_argument rather than being
+/// silently ignored. Throws std::invalid_argument on an invalid
+/// AdaptiveConfig (see AdaptiveConfig::validate).
 [[nodiscard]] AdaptiveRunResult run_adaptive_experiment(
     const TraceBuffer& trace, const SpExperimentConfig& base,
-    const AdaptiveConfig& adaptive, std::uint32_t interval_iters,
-    double rp = 0.5);
+    const AdaptiveConfig& adaptive);
 
 }  // namespace spf

@@ -8,16 +8,25 @@
 //                a percentage of the original run's memory accesses, plus
 //                normalized runtime.
 //
-// Re-entrancy: all three entry points are pure functions of their arguments —
-// each constructs a private ExperimentContext (simulator + scratch) and
-// touches no global mutable state — so concurrent calls from different
-// threads are safe; a shared TraceBuffer is only ever read. The
-// spf::orchestrate sweep engine relies on this; tests/orchestrate_test.cpp
-// runs under -DSPF_SANITIZE=thread to keep it true.
+// One documented surface, one implementation: every run recipe — original,
+// SP, comparison, and the adaptive interval replay
+// (spf/core/adaptive.hpp) — lives on spf::ExperimentContext
+// (spf/core/experiment_context.hpp). The free functions below (and
+// run_adaptive_experiment) are thin wrappers that construct a short-lived
+// private context per call, so there is no second code path to drift from
+// the context members.
 //
-// Hot callers that run many experiments should hold a reusable
-// spf::ExperimentContext (spf/core/experiment_context.hpp) instead: identical
-// results, no per-call construction.
+// Re-entrancy: the free functions are pure functions of their arguments —
+// the throwaway context touches no global mutable state — so concurrent
+// calls from different threads are safe; a shared TraceBuffer is only ever
+// read. The spf::orchestrate sweep engine relies on this;
+// tests/orchestrate_test.cpp runs under -DSPF_SANITIZE=thread to keep it
+// true.
+//
+// Hot callers that run many experiments should lease a reusable context
+// instead — ExperimentContextPool under sweep fan-out, or one
+// ExperimentContext for a single-threaded loop: identical results, no
+// per-call construction.
 #pragma once
 
 #include <cstdint>
@@ -76,17 +85,22 @@ struct SpComparison {
   [[nodiscard]] std::string to_string() const;
 };
 
+// Convenience wrappers (one throwaway ExperimentContext per call — see the
+// header note; hot callers lease from ExperimentContextPool instead).
+
 /// Runs original and SP configurations of `main_trace` and returns both
 /// summaries. The helper stream is synthesized from the trace with
-/// config.params and staggered by round-level synchronization.
+/// config.params and staggered by round-level synchronization. Identical to
+/// ExperimentContext::run_comparison.
 [[nodiscard]] SpComparison run_sp_experiment(const TraceBuffer& main_trace,
                                              const SpExperimentConfig& config);
 
 /// Just the SP run (no baseline) — for sweeps that share one baseline.
+/// Identical to ExperimentContext::run_sp_once.
 [[nodiscard]] SpRunSummary run_sp_once(const TraceBuffer& main_trace,
                                        const SpExperimentConfig& config);
 
-/// Just the original run.
+/// Just the original run. Identical to ExperimentContext::run_original.
 [[nodiscard]] SpRunSummary run_original(const TraceBuffer& main_trace,
                                         const SpExperimentConfig& config);
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "spf/common/arena.hpp"
+#include "spf/core/adaptive.hpp"
 #include "spf/core/experiment.hpp"
 #include "spf/core/helper_gen.hpp"
 #include "spf/sim/simulator.hpp"
@@ -69,6 +70,19 @@ class ExperimentContext {
   SpComparison run_comparison(const TraceBuffer& main_trace,
                               const SpExperimentConfig& config);
 
+  /// Feedback-directed adaptive-distance run: slices `main_trace` into
+  /// AdaptiveConfig::interval_iters-sized outer-iteration segments and
+  /// replays each at the controller's current distance, entirely through
+  /// cursor windows (RebaseViewCursor for the demand core, HelperViewCursor
+  /// for the helper) — no per-segment trace materialization, zero
+  /// trace-record allocations. Identical to spf::run_adaptive_experiment;
+  /// cold intervals (the default) are bit-identical to the materializing
+  /// pre-redesign implementation, pinned by
+  /// tests/adaptive_property_test.cpp. See docs/adaptive.md.
+  AdaptiveRunResult run_adaptive(const TraceBuffer& main_trace,
+                                 const SpExperimentConfig& base,
+                                 const AdaptiveConfig& adaptive);
+
   /// Bytes the simulator's cache arrays have drawn from the context arena
   /// (monotone; storage is reused, so repeat runs stop growing it).
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
@@ -95,6 +109,11 @@ class ExperimentContext {
   /// binds to a specific trace + params.
   std::optional<CursorWindowSource<HelperViewCursor, kHelperFeedWindow>>
       helper_feed_;
+  /// Adaptive interval replay's demand-core feed: a RebaseViewCursor over the
+  /// current trace segment, windowed like the helper feed. Only run_adaptive
+  /// touches it (the plain SP paths index the materialized trace directly).
+  std::optional<CursorWindowSource<RebaseViewCursor, kHelperFeedWindow>>
+      main_feed_;
 };
 
 /// Fixed-size pool of contexts for concurrent sweep workers. Lease a context,

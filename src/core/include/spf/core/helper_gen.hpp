@@ -93,10 +93,23 @@ class HelperViewCursor {
  public:
   HelperViewCursor(const TraceBuffer& main_trace, const SpParams& params,
                    const HelperGenOptions& options = {}, bool re_anchor = false)
-      : records_(main_trace.records()),
+      : HelperViewCursor(main_trace.records(), params, options, re_anchor, 0) {}
+
+  /// Segment form: views `records` with every outer_iter re-based by
+  /// `iter_base` before the transform — both the skip/pre-execute round
+  /// position and the emitted record's outer_iter use the re-based value, so
+  /// this is exactly the whole-trace view over a copy of the segment with
+  /// outer_iter -= iter_base applied (iter_base = 0 degenerates to it). The
+  /// adaptive interval replay (spf/core/adaptive.hpp) feeds each trace
+  /// segment through this alongside a RebaseViewCursor for the demand core.
+  HelperViewCursor(std::span<const TraceRecord> records, const SpParams& params,
+                   const HelperGenOptions& options = {}, bool re_anchor = false,
+                   std::uint32_t iter_base = 0)
+      : records_(records),
         params_(params),
         options_(options),
-        re_anchor_(re_anchor) {
+        re_anchor_(re_anchor),
+        iter_base_(iter_base) {
     SPF_ASSERT(params.a_pre > 0,
                "helper must pre-execute at least one iteration");
     settle();
@@ -142,7 +155,7 @@ class HelperViewCursor {
     if (r.kind() == AccessKind::kWrite) return false;  // helper never stores
     if (r.outer_iter != last_outer_) {
       last_outer_ = r.outer_iter;
-      last_pos_ = r.outer_iter % params_.round();
+      last_pos_ = (r.outer_iter - iter_base_) % params_.round();
     }
     return last_pos_ >= params_.a_ski || r.is_spine();
   }
@@ -155,7 +168,7 @@ class HelperViewCursor {
     if (pre_execute && r.is_delinquent() && options_.use_prefetch_instructions) {
       kind = AccessKind::kPrefetch;
     }
-    std::uint32_t outer = r.outer_iter;
+    std::uint32_t outer = r.outer_iter - iter_base_;
     if (re_anchor_) {
       outer = outer >= params_.a_ski ? outer - params_.a_ski : 0;
     }
@@ -179,6 +192,7 @@ class HelperViewCursor {
   SpParams params_;
   HelperGenOptions options_;
   bool re_anchor_ = false;
+  std::uint32_t iter_base_ = 0;
   std::size_t pos_ = 0;
   std::uint32_t last_outer_ = ~std::uint32_t{0};
   std::uint32_t last_pos_ = 0;

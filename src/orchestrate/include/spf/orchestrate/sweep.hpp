@@ -1,9 +1,10 @@
 // Declarative sweep orchestration over the SP experiment space.
 //
 // A SweepSpec describes a grid: workloads × L2 geometries × helper kinds ×
-// prefetch ratios × prefetch distances. run_sweep() expands the grid into
-// cells in a fixed nested order (workload ▸ geometry ▸ helper ▸ RP ▸
-// distance), fans the per-cell simulations out over a thread pool, and
+// prefetch ratios × prefetch distances × distance controllers. run_sweep()
+// expands the grid into cells in a fixed nested order (workload ▸ geometry ▸
+// helper ▸ RP ▸ distance ▸ controller), fans the per-cell simulations out
+// over a thread pool, and
 // collects results into slots indexed by cell id — so the aggregated table /
 // CSV / JSONL artifacts are byte-identical regardless of thread count or
 // completion order (the simulator itself is deterministic; see
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "spf/common/csv.hpp"
+#include "spf/core/adaptive.hpp"
 #include "spf/core/distance_bound.hpp"
 #include "spf/core/experiment.hpp"
 #include "spf/mem/geometry.hpp"
@@ -47,6 +49,16 @@ enum class HelperKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(HelperKind kind) noexcept;
+
+/// How a cell picks its prefetch distance over the run.
+enum class ControllerKind : std::uint8_t {
+  kStatic,        // fixed A_SKI for the whole run (the paper's SP cells)
+  kAdaptiveAimd,  // AIMD feedback walk from the cell's distance, free range
+  kAdaptiveCapped  // AIMD walk with max_distance clamped to the cell's
+                   // Set-Affinity bound (the paper's thesis as a controller)
+};
+
+[[nodiscard]] const char* to_string(ControllerKind kind) noexcept;
 
 /// A workload's emitted trace plus the invocation boundaries the Set-Affinity
 /// analysis needs — now defined at the trace layer (spf/trace/trace_source.hpp)
@@ -88,14 +100,27 @@ struct SweepSpec {
   bool baseline_hw_prefetch = true;
   /// Compute cycles the helper spends per kept record.
   std::uint16_t helper_compute_gap = 0;
+  /// Distance-controller axis, innermost in the grid order. Adaptive cells
+  /// replay the trace in intervals through ExperimentContext::run_adaptive
+  /// and record the controller's distance trajectory in
+  /// CellResult::adaptive; static cells are the classic fixed-distance SP
+  /// runs.
+  std::vector<ControllerKind> controllers = {ControllerKind::kStatic};
+  /// Shared controller policy for adaptive cells. initial_distance and rp
+  /// are overwritten per cell (from the cell's distance / RP axes);
+  /// kAdaptiveCapped additionally clamps max_distance to the cell's
+  /// Set-Affinity bound.
+  AdaptiveConfig adaptive{};
 
   /// Structural check of the grid description. Returns the empty string when
   /// the spec can run, otherwise a one-line description of the first problem
-  /// found (empty workloads / rps / geometries / helpers, an RP outside
-  /// (0, 1], a zero-way or zero-line geometry, a duplicate or zero explicit
-  /// distance). run_sweep() calls this and throws std::invalid_argument on a
-  /// non-empty result; CLI drivers call it directly to turn flag mistakes
-  /// into usage errors (exit 2) instead of a mid-sweep crash.
+  /// found (empty workloads / rps / geometries / helpers / controllers, an RP
+  /// outside (0, 1], a zero-way or zero-line geometry, a duplicate or zero
+  /// explicit distance, a duplicate controller, an invalid adaptive policy
+  /// when an adaptive controller is present). run_sweep() calls this and
+  /// throws std::invalid_argument on a non-empty result; CLI drivers call it
+  /// directly to turn flag mistakes into usage errors (exit 2) instead of a
+  /// mid-sweep crash.
   [[nodiscard]] std::string validate() const;
 };
 
@@ -105,9 +130,23 @@ struct SweepCell {
   CacheGeometry l2 = CacheGeometry(1 << 20, 16, 64);
   HelperKind helper = HelperKind::kBlockingLoad;
   double rp = 0.5;
-  std::uint32_t distance = 0;  // A_SKI
+  std::uint32_t distance = 0;  // A_SKI (adaptive cells: the starting distance)
   /// Set-Affinity upper limit of this cell's workload × geometry plane.
   std::uint32_t bound_upper = 0;
+  ControllerKind controller = ControllerKind::kStatic;
+};
+
+/// Distance-walk evidence an adaptive cell carries alongside its metrics.
+struct AdaptiveCellStats {
+  std::vector<std::uint32_t> trajectory;  // distance per interval, in order
+  std::uint32_t final_distance = 0;
+  double mean_distance = 0.0;
+  std::uint64_t intervals = 0;
+  std::uint64_t increases = 0;
+  std::uint64_t decreases = 0;
+  /// Effective max_distance the controller ran with (for kAdaptiveCapped,
+  /// the Set-Affinity clamp; otherwise the spec's policy ceiling).
+  std::uint32_t distance_cap = 0;
 };
 
 struct CellResult {
@@ -116,6 +155,8 @@ struct CellResult {
   std::string error;  // failure reason when !ok
   /// Engaged exactly when ok — a failed cell has no numbers to misread.
   std::optional<SpComparison> cmp;
+  /// Engaged exactly when ok and the cell's controller is adaptive.
+  std::optional<AdaptiveCellStats> adaptive;
 };
 
 struct SweepResult {

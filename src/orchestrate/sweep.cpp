@@ -1,5 +1,6 @@
 #include "spf/orchestrate/sweep.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -43,6 +44,15 @@ const char* to_string(HelperKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(ControllerKind kind) noexcept {
+  switch (kind) {
+    case ControllerKind::kStatic: return "static";
+    case ControllerKind::kAdaptiveAimd: return "adaptive-aimd";
+    case ControllerKind::kAdaptiveCapped: return "adaptive-capped";
+  }
+  return "?";
+}
+
 std::string SweepSpec::validate() const {
   if (workloads.empty()) return "sweep spec has no workloads";
   for (std::size_t i = 0; i < workloads.size(); ++i) {
@@ -70,6 +80,23 @@ std::string SweepSpec::validate() const {
     if (d == 0) return "explicit distance 0 is invalid (A_SKI must be >= 1)";
     if (!seen.insert(d).second) {
       return "duplicate explicit distance " + std::to_string(d);
+    }
+  }
+  if (controllers.empty()) return "sweep spec has no controllers";
+  std::unordered_set<std::uint8_t> seen_controllers;
+  bool any_adaptive = false;
+  for (const ControllerKind c : controllers) {
+    if (!seen_controllers.insert(static_cast<std::uint8_t>(c)).second) {
+      return std::string("duplicate controller ") + to_string(c);
+    }
+    if (c != ControllerKind::kStatic) any_adaptive = true;
+  }
+  if (any_adaptive) {
+    // initial_distance / rp are per-cell overrides, so only the policy
+    // fields of spec.adaptive need to hold; validate() covers them all, and
+    // a per-cell clamp keeps the overrides legal.
+    if (const std::string problem = adaptive.validate(); !problem.empty()) {
+      return "adaptive controller policy: " + problem;
     }
   }
   return "";
@@ -167,17 +194,20 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
       for (const HelperKind helper : spec.helpers) {
         for (const double rp : spec.rps) {
           for (const std::uint32_t distance : distances) {
-            SweepCell cell;
-            cell.id = cells.size();
-            cell.workload = spec.workloads[w].name;
-            cell.l2 = spec.geometries[g];
-            cell.helper = helper;
-            cell.rp = rp;
-            cell.distance = distance;
-            cell.bound_upper = plane_ok ? planes[p].bound.upper_limit : 0;
-            cells.push_back(cell);
-            cell_plane.push_back(p);
-            cell_inherited.push_back(plane_ok ? "" : plane_outcomes[p].error);
+            for (const ControllerKind controller : spec.controllers) {
+              SweepCell cell;
+              cell.id = cells.size();
+              cell.workload = spec.workloads[w].name;
+              cell.l2 = spec.geometries[g];
+              cell.helper = helper;
+              cell.rp = rp;
+              cell.distance = distance;
+              cell.bound_upper = plane_ok ? planes[p].bound.upper_limit : 0;
+              cell.controller = controller;
+              cells.push_back(cell);
+              cell_plane.push_back(p);
+              cell_inherited.push_back(plane_ok ? "" : plane_outcomes[p].error);
+            }
           }
         }
       }
@@ -203,14 +233,40 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         SpExperimentConfig cfg;
         cfg.sim.l2 = cell.l2;
         cfg.sim.streaming_cores = opts.streaming_cores;
-        cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);
         cfg.helper.use_prefetch_instructions =
             cell.helper == HelperKind::kPrefetchInstruction;
         cfg.helper.helper_compute_gap = spec.helper_compute_gap;
         cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
         SpComparison cmp;
         cmp.original = planes[p].baseline;
-        cmp.sp = contexts.acquire()->run_sp_once(src.trace, cfg);
+        if (cell.controller == ControllerKind::kStatic) {
+          cfg.params = SpParams::from_distance_rp(cell.distance, cell.rp);
+          cmp.sp = contexts.acquire()->run_sp_once(src.trace, cfg);
+        } else {
+          // Adaptive cells leave cfg.params default — run_adaptive derives
+          // SpParams per interval from the controller's distance walk.
+          AdaptiveConfig acfg = spec.adaptive;
+          acfg.initial_distance = cell.distance;
+          acfg.rp = cell.rp;
+          if (cell.controller == ControllerKind::kAdaptiveCapped &&
+              cell.bound_upper > 0) {
+            acfg.max_distance = std::max(
+                acfg.min_distance,
+                std::min(acfg.max_distance, cell.bound_upper));
+          }
+          const AdaptiveRunResult run =
+              contexts.acquire()->run_adaptive(src.trace, cfg, acfg);
+          cmp.sp = run.aggregate;
+          AdaptiveCellStats stats;
+          stats.trajectory = run.distance_trajectory;
+          stats.final_distance = run.final_distance();
+          stats.mean_distance = run.mean_distance();
+          stats.intervals = run.intervals;
+          stats.increases = run.increases;
+          stats.decreases = run.decreases;
+          stats.distance_cap = acfg.max_distance;
+          result.cells[i].adaptive = std::move(stats);
+        }
         result.cells[i].cmp = cmp;  // engaged only when the run succeeded
       },
       opts.progress);
@@ -239,8 +295,8 @@ std::size_t SweepResult::failed_count() const {
 
 Table SweepResult::to_table() const {
   SPF_SPAN("aggregate");
-  Table t({"workload", "L2", "helper", "RP", "A_SKI", "vs bound", "status",
-           "Normalized_Runtime", "Normalized_MemoryAccesses",
+  Table t({"workload", "L2", "helper", "controller", "RP", "A_SKI", "vs bound",
+           "status", "Normalized_Runtime", "Normalized_MemoryAccesses",
            "Normalized_HotMisses", "dTotally_hit(%)", "dTotally_miss(%)",
            "dPartially_hit(%)", "pollution"});
   for (const auto& c : cells) {
@@ -248,6 +304,7 @@ Table SweepResult::to_table() const {
         .add(c.cell.workload)
         .add(c.cell.l2.to_string())
         .add(to_string(c.cell.helper))
+        .add(to_string(c.cell.controller))
         .add(c.cell.rp, 2)
         .add(static_cast<std::uint64_t>(c.cell.distance));
     if (!c.ok) {
@@ -281,6 +338,7 @@ void SweepResult::write_jsonl(std::ostream& out) const {
         .add("assoc", c.cell.l2.ways())
         .add("line", c.cell.l2.line_bytes())
         .add("helper", to_string(c.cell.helper))
+        .add("controller", to_string(c.cell.controller))
         .add("rp", c.cell.rp)
         .add("distance", c.cell.distance)
         .add("bound_upper", c.cell.bound_upper)
@@ -300,7 +358,27 @@ void SweepResult::write_jsonl(std::ostream& out) const {
         .add("original_runtime", c.cmp->original.runtime)
         .add("sp_runtime", c.cmp->sp.runtime)
         .add("helper_finish", c.cmp->sp.helper_finish)
-        .add("pollution_total", c.cmp->sp.pollution.total_pollution());
+        .add("pollution_total", c.cmp->sp.pollution.total_pollution())
+        .add("pollution_rate",
+             c.cmp->sp.l2_lookups == 0
+                 ? 0.0
+                 : static_cast<double>(c.cmp->sp.pollution.total_pollution()) /
+                       static_cast<double>(c.cmp->sp.l2_lookups));
+    if (c.adaptive) {
+      std::string trajectory = "[";
+      for (std::size_t i = 0; i < c.adaptive->trajectory.size(); ++i) {
+        if (i != 0) trajectory += ",";
+        trajectory += std::to_string(c.adaptive->trajectory[i]);
+      }
+      trajectory += "]";
+      obj.add("final_distance", c.adaptive->final_distance)
+          .add("mean_distance", c.adaptive->mean_distance)
+          .add("intervals", c.adaptive->intervals)
+          .add("adaptive_increases", c.adaptive->increases)
+          .add("adaptive_decreases", c.adaptive->decreases)
+          .add("distance_cap", c.adaptive->distance_cap)
+          .add_raw("trajectory", trajectory);
+    }
     out << obj;
   }
 }

@@ -82,6 +82,25 @@ class CmpSimulator {
   /// result as constructing a fresh CmpSimulator(config) and running it.
   SimResult run(const SimConfig& config, const std::vector<CoreStream>& streams);
 
+  /// Continues a prior run() with *warm* hardware state: rebinds the streams
+  /// (fresh feeds, sync, origins) but keeps the shared L2/MSHR/memory
+  /// channel/pollution tracker, each core's private L1 + hw prefetchers, and
+  /// every core's local clock, so the new streams observe the machine exactly
+  /// as the previous streams left it. This is the adaptive interval-replay
+  /// seam (spf/core/adaptive.hpp, AdaptiveConfig::warm_intervals): each
+  /// interval re-enters the simulator without the cold-start transient.
+  ///
+  /// Requires a completed run() before the first call and the same stream
+  /// count as that run (core i keeps being core i). The returned metrics are
+  /// CUMULATIVE since the last cold run() — per-core counters, pollution
+  /// cases, stats, and finish times all keep accumulating; callers wanting
+  /// per-interval deltas difference successive results. The simulator's
+  /// config is not re-read: the run continues under the config of the last
+  /// cold run(). No telemetry counters are surfaced (the cold run already
+  /// surfaced the totals' base; re-adding cumulative values would
+  /// double-count).
+  SimResult run_warm(const std::vector<CoreStream>& streams);
+
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
  private:
@@ -125,6 +144,13 @@ class CmpSimulator {
   };
 
   void reset(const std::vector<CoreStream>& streams);
+  /// Per-core stream (re)binding shared by reset() and run_warm(): feeds,
+  /// origin/sync, gating memos. `warm` keeps each core's clock, L1,
+  /// prefetchers, and cumulative metrics instead of zeroing them.
+  void bind_streams(const std::vector<CoreStream>& streams, bool warm);
+  /// Engine dispatch + final drain + metrics collection over already-bound
+  /// streams (the shared tail of run() and run_warm()).
+  SimResult run_bound();
 
   // Record-feed policy, selected per run: Streaming pulls through the
   // RecordSource window, !Streaming indexes the materialized buffer. Both

@@ -71,6 +71,11 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
   active_ = streams.size();
   if (cores_.size() < active_) cores_.resize(active_);
 
+  bind_streams(streams, /*warm=*/false);
+}
+
+void CmpSimulator::bind_streams(const std::vector<CoreStream>& streams,
+                                bool warm) {
   // Pick the feed for this run: the streaming engine is forced whenever any
   // stream has no materialized trace to index.
   bool any_source_only = false;
@@ -103,7 +108,17 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
       core.window = {};
       core.win_pos = 0;
     }
-    core.clock = 0;
+    if (!warm) {
+      core.clock = 0;
+      core.metrics = ThreadMetrics{};
+      if (core.l1) {
+        core.l1->reset_to(config_.l1, ReplacementKind::kLru, config_.seed + i);
+      } else {
+        core.l1.emplace(config_.l1, ReplacementKind::kLru, config_.seed + i,
+                        arena_);
+      }
+      core.prefetcher.emplace(config_.l2.line_bytes());
+    }
     core.outer_iter = 0;
     core.started = false;
     core.origin = streams[i].origin;
@@ -114,15 +129,7 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
                  "round sync leader must be another configured core");
       SPF_ASSERT(core.sync->round_iters > 0, "round length must be positive");
     }
-    if (core.l1) {
-      core.l1->reset_to(config_.l1, ReplacementKind::kLru, config_.seed + i);
-    } else {
-      core.l1.emplace(config_.l1, ReplacementKind::kLru, config_.seed + i,
-                      arena_);
-    }
-    core.prefetcher.emplace(config_.l2.line_bytes());
-    core.metrics = ThreadMetrics{};
-    core.next_time = 0;
+    core.next_time = core.clock;
     core.gate_next_round = 0;
     core.gate_next_outer_seen = ~std::uint32_t{0};
     core.gate_leader_round = 0;
@@ -176,7 +183,22 @@ bool CmpSimulator::gated(CoreState& core) const {
 
 SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
   reset(streams);
+  SimResult result = run_bound();
+  surface_run_telemetry(result);
+  return result;
+}
 
+SimResult CmpSimulator::run_warm(const std::vector<CoreStream>& streams) {
+  SPF_ASSERT(l2_.has_value(), "run_warm continues a prior run(); none ran");
+  SPF_ASSERT(streams.size() == active_,
+             "run_warm must bind the same number of streams as the cold run");
+  bind_streams(streams, /*warm=*/true);
+  // Cumulative metrics: the cold run() already surfaced telemetry for the
+  // base totals, so warm continuations stay silent (see header contract).
+  return run_bound();
+}
+
+SimResult CmpSimulator::run_bound() {
   // The batched engine tracks gated-core leaders in a 64-bit mask; wider
   // topologies (none exist today) take the reference engine.
   if (config_.batched_replay && active_ <= 64) {
@@ -202,10 +224,10 @@ SimResult CmpSimulator::run(const std::vector<CoreStream>& streams) {
   result.mshr = mshr_->stats();
   result.memory = memory_->stats();
   result.hw_prefetches_issued = hw_prefetches_issued_;
-  result.occupancy = std::move(occupancy_);
+  // Copy, not move: a warm continuation must keep appending to the series.
+  result.occupancy = occupancy_;
   result.polluted_set_count = pollution_->polluted_set_count();
   result.top_polluted_sets = pollution_->top_polluted_sets(16);
-  surface_run_telemetry(result);
   return result;
 }
 

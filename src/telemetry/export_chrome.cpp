@@ -78,6 +78,23 @@ void Session::write_chrome_trace(std::ostream& out,
     }
   }
 
+  // Counter ("C") tracks after the slices: Perfetto renders each distinct
+  // name as a value-over-time graph on its lane. Sample order within a lane
+  // is already chronological (lane-private push at record time); the trace
+  // format does not require cross-phase ordering.
+  for (const auto& lane : lanes_) {
+    for (const CounterSample& s : lane->samples()) {
+      JsonObject counter;
+      counter.add("ph", "C")
+          .add("pid", std::uint64_t{1})
+          .add("tid", static_cast<std::uint64_t>(lane->id()))
+          .add("name", s.name)
+          .add("ts", to_us(s.ts))
+          .add_raw("args", "{\"value\":" + std::to_string(s.value) + "}");
+      emit(counter);
+    }
+  }
+
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 

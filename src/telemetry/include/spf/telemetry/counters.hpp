@@ -36,6 +36,12 @@ enum class Counter : std::uint16_t {
   // distance-bound analysis
   kDistanceBounds,  // estimate_distance_bound calls
   kRefineRuns,      // refine_with_helper calls
+  // adaptive-distance interval replay (spf/core/adaptive.hpp)
+  kAdaptiveRuns,       // run_adaptive calls
+  kAdaptiveIntervals,  // observation intervals replayed
+  kAdaptiveIncreases,  // controller actions by kind
+  kAdaptiveDecreases,
+  kAdaptiveHolds,
   // simulator (bulk-added once per run from the SimResult; never on the
   // per-access hot path)
   kL2Lookups,
@@ -49,8 +55,9 @@ enum class Counter : std::uint16_t {
 };
 
 enum class Gauge : std::uint16_t {
-  kTraceRecordsMax,  // largest workload trace observed (records)
-  kArenaBytesMax,    // largest per-context arena footprint observed
+  kTraceRecordsMax,     // largest workload trace observed (records)
+  kArenaBytesMax,       // largest per-context arena footprint observed
+  kAdaptiveDistanceMax, // largest distance the adaptive controller reached
   kCount
 };
 

@@ -63,6 +63,18 @@ struct SpanEvent {
   std::uint32_t depth = 0;  // nesting depth at begin (0 = top level)
 };
 
+/// One timeline counter sample — a named value at an instant, exported as a
+/// Chrome trace-event "C" (counter) track so Perfetto renders it as a graph
+/// over the lane's timeline (the adaptive controller's per-interval distance
+/// is the first user). `name` must be a string literal. Unlike the Counter
+/// enum these are *samples*, not merged totals: they appear only in the
+/// timeline export, never in the metrics JSONL.
+struct CounterSample {
+  const char* name = nullptr;
+  Clock::Ticks ts = 0;
+  std::uint64_t value = 0;
+};
+
 class Session;
 
 /// Per-thread recording target. Written only by the bound thread; the
@@ -91,11 +103,17 @@ class Lane {
     spans_[index].end = clock_->now();
     --depth_;
   }
+  void add_sample(const char* name, std::uint64_t value) {
+    samples_.push_back(CounterSample{name, clock_->now(), value});
+  }
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
   [[nodiscard]] const std::vector<SpanEvent>& spans() const noexcept {
     return spans_;
+  }
+  [[nodiscard]] const std::vector<CounterSample>& samples() const noexcept {
+    return samples_;
   }
   [[nodiscard]] std::uint64_t counter(Counter c) const noexcept {
     return counters_[static_cast<std::size_t>(c)];
@@ -115,6 +133,7 @@ class Lane {
   std::array<std::uint64_t, kCounterCount> counters_{};
   std::array<std::uint64_t, kGaugeCount> gauges_{};
   std::vector<SpanEvent> spans_;
+  std::vector<CounterSample> samples_;
   std::uint32_t depth_ = 0;
 };
 
@@ -219,6 +238,18 @@ inline void gauge_max(Gauge g, std::uint64_t value) noexcept {
   if (Lane* lane = detail::tl_lane) lane->gauge_max(g, value);
 #else
   (void)g;
+  (void)value;
+#endif
+}
+
+/// Records a timeline counter sample (a "C" track point in the Chrome trace
+/// export — see CounterSample) on the calling thread's lane; no-op when the
+/// thread is not recording. `name` must be a string literal.
+inline void sample(const char* name, std::uint64_t value) {
+#if SPF_TELEMETRY
+  if (Lane* lane = detail::tl_lane) lane->add_sample(name, value);
+#else
+  (void)name;
   (void)value;
 #endif
 }

@@ -19,6 +19,11 @@ const char* to_string(Counter c) noexcept {
       return "replay.helper_scratch_bytes_saved";
     case Counter::kDistanceBounds: return "refine.distance_bounds";
     case Counter::kRefineRuns: return "refine.runs";
+    case Counter::kAdaptiveRuns: return "adaptive.runs";
+    case Counter::kAdaptiveIntervals: return "adaptive.intervals";
+    case Counter::kAdaptiveIncreases: return "adaptive.increases";
+    case Counter::kAdaptiveDecreases: return "adaptive.decreases";
+    case Counter::kAdaptiveHolds: return "adaptive.holds";
     case Counter::kL2Lookups: return "sim.l2_lookups";
     case Counter::kL2TotallyHits: return "sim.l2_totally_hits";
     case Counter::kL2PartiallyHits: return "sim.l2_partially_hits";
@@ -35,6 +40,7 @@ const char* to_string(Gauge g) noexcept {
   switch (g) {
     case Gauge::kTraceRecordsMax: return "trace.records_max";
     case Gauge::kArenaBytesMax: return "replay.arena_bytes_max";
+    case Gauge::kAdaptiveDistanceMax: return "adaptive.distance_max";
     case Gauge::kCount: break;
   }
   return "?";

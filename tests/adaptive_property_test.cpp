@@ -1,0 +1,344 @@
+// Property and differential coverage for the adaptive-distance subsystem.
+//
+// Three pillars:
+//   * FeedbackDistanceController properties under randomized configs and
+//     feedback streams — the distance never leaves [min, max], every step is
+//     exactly the AIMD arithmetic (halve-with-floor / add-with-cap), and the
+//     action tallies reconcile with the observed actions;
+//   * the streaming cold path of ExperimentContext::run_adaptive is
+//     bit-identical to the pre-redesign materializing reference (re-built
+//     inline here: split the trace into re-based per-interval TraceBuffers,
+//     run each through the free run_sp_once, accumulate) — and allocates
+//     zero trace-record storage while the reference allocates plenty;
+//   * warm intervals share the cold path's structure (same interval count
+//     and starting distance, distances always in bounds) while reporting one
+//     continuous run's cumulative aggregate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "spf/core/adaptive.hpp"
+#include "spf/core/experiment_context.hpp"
+#include "spf/workloads/synthetic.hpp"
+
+namespace spf {
+namespace {
+
+// ---- controller properties ------------------------------------------------
+
+/// Deterministic 64-bit LCG (MMIX constants) — keeps the property runs
+/// reproducible without <random>'s platform-dependent distributions.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 17;
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+TEST(AdaptiveControllerProperty, BoundsArithmeticAndCounters) {
+  Lcg rng(0xadaf71e5u);
+  for (int config_round = 0; config_round < 50; ++config_round) {
+    AdaptiveConfig cfg;
+    cfg.min_distance = 1 + static_cast<std::uint32_t>(rng.below(16));
+    cfg.max_distance =
+        cfg.min_distance + static_cast<std::uint32_t>(rng.below(256));
+    cfg.initial_distance = static_cast<std::uint32_t>(rng.below(512));
+    cfg.increase_step = 1 + static_cast<std::uint32_t>(rng.below(16));
+    ASSERT_EQ(cfg.validate(), "");
+
+    FeedbackDistanceController c(cfg);
+    // Clamped start.
+    EXPECT_GE(c.distance(), cfg.min_distance);
+    EXPECT_LE(c.distance(), cfg.max_distance);
+
+    std::uint64_t increases = 0;
+    std::uint64_t decreases = 0;
+    for (int step = 0; step < 200; ++step) {
+      IntervalFeedback fb;
+      fb.l2_lookups = rng.below(4);  // 0 sometimes: the hold-on-quiet case
+      fb.l2_lookups *= rng.below(5000);
+      fb.partially_hits = rng.below(fb.l2_lookups + 1);
+      fb.totally_misses = rng.below(fb.l2_lookups + 1);
+      fb.pollution_events = rng.below(fb.l2_lookups / 4 + 1);
+
+      const std::uint32_t before = c.distance();
+      const AdaptiveAction action = c.observe(fb);
+      const std::uint32_t after = c.distance();
+
+      EXPECT_GE(after, cfg.min_distance);
+      EXPECT_LE(after, cfg.max_distance);
+      switch (action) {
+        case AdaptiveAction::kDecrease:
+          EXPECT_EQ(after, std::max(cfg.min_distance, before / 2));
+          EXPECT_LT(after, before);  // kDecrease only fires above the floor
+          ++decreases;
+          break;
+        case AdaptiveAction::kIncrease:
+          EXPECT_EQ(after,
+                    std::min(cfg.max_distance, before + cfg.increase_step));
+          EXPECT_GT(after, before);  // kIncrease only fires below the cap
+          ++increases;
+          break;
+        case AdaptiveAction::kHold:
+          EXPECT_EQ(after, before);
+          break;
+      }
+      if (fb.l2_lookups == 0) EXPECT_EQ(action, AdaptiveAction::kHold);
+    }
+    EXPECT_EQ(c.increases(), increases);
+    EXPECT_EQ(c.decreases(), decreases);
+  }
+}
+
+TEST(AdaptiveConfigTest, ValidateRejectsBadConfigs) {
+  AdaptiveConfig cfg;
+  EXPECT_EQ(cfg.validate(), "");
+  cfg.min_distance = 0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = AdaptiveConfig{};
+  cfg.min_distance = 8;
+  cfg.max_distance = 4;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = AdaptiveConfig{};
+  cfg.increase_step = 0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = AdaptiveConfig{};
+  cfg.interval_iters = 0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = AdaptiveConfig{};
+  cfg.rp = 0.0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.rp = 1.5;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(AdaptiveRunResultTest, EmptyTrajectoryReportsInitialDistance) {
+  AdaptiveRunResult r;
+  r.initial_distance = 16;
+  EXPECT_EQ(r.final_distance(), 16u);
+  EXPECT_EQ(r.mean_distance(), 16.0);
+  r.distance_trajectory = {16, 8, 4};
+  EXPECT_EQ(r.final_distance(), 4u);
+  EXPECT_NEAR(r.mean_distance(), (16.0 + 8.0 + 4.0) / 3.0, 1e-12);
+}
+
+// ---- cold-path differential against the pre-redesign reference ------------
+
+/// The removed materializing implementation, verbatim in behaviour: one
+/// re-based TraceBuffer per interval, a throwaway simulator per segment via
+/// the free run_sp_once, field-by-field aggregation (helper_finish not
+/// summed — per-interval finish times are not additive).
+AdaptiveRunResult legacy_reference(const TraceBuffer& trace,
+                                   const SpExperimentConfig& base,
+                                   const AdaptiveConfig& adaptive) {
+  std::vector<TraceBuffer> chunks;
+  std::int64_t current_index = -1;
+  std::uint32_t chunk_base = 0;
+  for (const TraceRecord& r : trace) {
+    const std::uint32_t chunk_index = r.outer_iter / adaptive.interval_iters;
+    if (static_cast<std::int64_t>(chunk_index) != current_index) {
+      chunks.emplace_back();
+      current_index = chunk_index;
+      chunk_base = chunk_index * adaptive.interval_iters;
+    }
+    TraceRecord rebased = r;
+    rebased.outer_iter = r.outer_iter - chunk_base;
+    chunks.back().mutable_records().push_back(rebased);
+  }
+
+  AdaptiveRunResult result;
+  FeedbackDistanceController controller(adaptive);
+  result.initial_distance = controller.distance();
+  for (const TraceBuffer& chunk : chunks) {
+    SpExperimentConfig cfg = base;
+    cfg.params =
+        SpParams::from_distance_rp(controller.distance(), adaptive.rp);
+    const SpRunSummary run = run_sp_once(chunk, cfg);
+    result.distance_trajectory.push_back(controller.distance());
+    ++result.intervals;
+
+    result.aggregate.runtime += run.runtime;
+    result.aggregate.l2_lookups += run.l2_lookups;
+    result.aggregate.totally_hits += run.totally_hits;
+    result.aggregate.partially_hits += run.partially_hits;
+    result.aggregate.totally_misses += run.totally_misses;
+    result.aggregate.memory_requests += run.memory_requests;
+    result.aggregate.pollution.case1_reuse_displaced +=
+        run.pollution.case1_reuse_displaced;
+    result.aggregate.pollution.case2_helper_displaced +=
+        run.pollution.case2_helper_displaced;
+    result.aggregate.pollution.case3_hw_displaced +=
+        run.pollution.case3_hw_displaced;
+    result.aggregate.pollution.prefetch_caused_evictions +=
+        run.pollution.prefetch_caused_evictions;
+    result.aggregate.pollution.total_evictions += run.pollution.total_evictions;
+
+    controller.observe(IntervalFeedback{
+        .l2_lookups = run.l2_lookups,
+        .partially_hits = run.partially_hits,
+        .totally_misses = run.totally_misses,
+        .pollution_events = run.pollution.total_pollution(),
+    });
+  }
+  result.increases = controller.increases();
+  result.decreases = controller.decreases();
+  return result;
+}
+
+void expect_identical(const AdaptiveRunResult& got,
+                      const AdaptiveRunResult& want) {
+  EXPECT_EQ(got.intervals, want.intervals);
+  EXPECT_EQ(got.distance_trajectory, want.distance_trajectory);
+  EXPECT_EQ(got.initial_distance, want.initial_distance);
+  EXPECT_EQ(got.increases, want.increases);
+  EXPECT_EQ(got.decreases, want.decreases);
+  EXPECT_EQ(got.aggregate.runtime, want.aggregate.runtime);
+  EXPECT_EQ(got.aggregate.l2_lookups, want.aggregate.l2_lookups);
+  EXPECT_EQ(got.aggregate.totally_hits, want.aggregate.totally_hits);
+  EXPECT_EQ(got.aggregate.partially_hits, want.aggregate.partially_hits);
+  EXPECT_EQ(got.aggregate.totally_misses, want.aggregate.totally_misses);
+  EXPECT_EQ(got.aggregate.memory_requests, want.aggregate.memory_requests);
+  EXPECT_EQ(got.aggregate.helper_finish, want.aggregate.helper_finish);
+  EXPECT_EQ(got.aggregate.pollution.case1_reuse_displaced,
+            want.aggregate.pollution.case1_reuse_displaced);
+  EXPECT_EQ(got.aggregate.pollution.case2_helper_displaced,
+            want.aggregate.pollution.case2_helper_displaced);
+  EXPECT_EQ(got.aggregate.pollution.case3_hw_displaced,
+            want.aggregate.pollution.case3_hw_displaced);
+  EXPECT_EQ(got.aggregate.pollution.prefetch_caused_evictions,
+            want.aggregate.pollution.prefetch_caused_evictions);
+  EXPECT_EQ(got.aggregate.pollution.total_evictions,
+            want.aggregate.pollution.total_evictions);
+}
+
+TraceBuffer polluting_trace() {
+  SyntheticConfig wcfg;
+  wcfg.iterations = 12000;
+  wcfg.random_reads = 8;
+  wcfg.random_footprint_lines = 1 << 13;
+  return SyntheticWorkload(wcfg).emit_trace();
+}
+
+TEST(AdaptiveColdDifferential, StreamingMatchesMaterializingReference) {
+  const TraceBuffer trace = polluting_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+
+  // Several controller regimes: walking down from a polluting start, pinned
+  // static (min == max), and a mid-range start with room both ways.
+  std::vector<AdaptiveConfig> configs(3);
+  configs[0].min_distance = 2;
+  configs[0].max_distance = 1024;
+  configs[0].initial_distance = 1024;
+  configs[0].increase_step = 8;
+  configs[1].min_distance = 16;
+  configs[1].max_distance = 16;
+  configs[1].initial_distance = 16;
+  configs[2] = AdaptiveConfig{};  // defaults: 8 inside [1, 64]
+  for (AdaptiveConfig& acfg : configs) {
+    acfg.interval_iters = 1500;
+
+    ExperimentContext ctx;
+    const std::uint64_t allocs_before = trace_hooks::record_allocations();
+    const AdaptiveRunResult streaming = ctx.run_adaptive(trace, base, acfg);
+    // The streaming path's contract: segments replay through cursor windows
+    // over the shared trace, so no trace-record storage ever grows.
+    EXPECT_EQ(trace_hooks::record_allocations() - allocs_before, 0u);
+
+    const AdaptiveRunResult reference = legacy_reference(trace, base, acfg);
+    expect_identical(streaming, reference);
+    ASSERT_GE(streaming.intervals, 2u);
+  }
+}
+
+TEST(AdaptiveColdDifferential, WrapperMatchesContextMember) {
+  const TraceBuffer trace = polluting_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+  AdaptiveConfig acfg;
+  acfg.interval_iters = 2000;
+
+  ExperimentContext ctx;
+  expect_identical(run_adaptive_experiment(trace, base, acfg),
+                   ctx.run_adaptive(trace, base, acfg));
+}
+
+// ---- warm intervals -------------------------------------------------------
+
+TEST(AdaptiveWarmIntervals, SharesStructureWithColdRun) {
+  const TraceBuffer trace = polluting_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+  AdaptiveConfig acfg;
+  acfg.min_distance = 2;
+  acfg.max_distance = 512;
+  acfg.initial_distance = 512;
+  acfg.interval_iters = 1500;
+
+  ExperimentContext ctx;
+  const AdaptiveRunResult cold = ctx.run_adaptive(trace, base, acfg);
+
+  AdaptiveConfig warm_cfg = acfg;
+  warm_cfg.warm_intervals = true;
+  const std::uint64_t allocs_before = trace_hooks::record_allocations();
+  const AdaptiveRunResult warm = ctx.run_adaptive(trace, base, warm_cfg);
+  EXPECT_EQ(trace_hooks::record_allocations() - allocs_before, 0u);
+
+  // Same segmentation, same clamped start; the feedback differs (no cold
+  // restart transient), so the walks may diverge after the first interval.
+  EXPECT_EQ(warm.intervals, cold.intervals);
+  EXPECT_EQ(warm.distance_trajectory.size(), cold.distance_trajectory.size());
+  EXPECT_EQ(warm.initial_distance, cold.initial_distance);
+  ASSERT_FALSE(warm.distance_trajectory.empty());
+  EXPECT_EQ(warm.distance_trajectory.front(), cold.distance_trajectory.front());
+  for (const std::uint32_t d : warm.distance_trajectory) {
+    EXPECT_GE(d, warm_cfg.min_distance);
+    EXPECT_LE(d, warm_cfg.max_distance);
+  }
+  // Cumulative totals of a real run.
+  EXPECT_GT(warm.aggregate.runtime, 0u);
+  EXPECT_GT(warm.aggregate.l2_lookups, 0u);
+  // The warm aggregate is one continuous run's summary: its runtime is the
+  // final clock, not a sum of per-interval restart clocks, so it cannot
+  // exceed the cold sum (each cold interval restarts from cycle 0).
+  EXPECT_LE(warm.aggregate.runtime, cold.aggregate.runtime);
+  // A context stays reusable after a warm run: the next cold run matches a
+  // fresh context bit-for-bit.
+  expect_identical(ctx.run_adaptive(trace, base, acfg), cold);
+}
+
+// ---- API contract ---------------------------------------------------------
+
+TEST(AdaptiveApiContract, RejectsNonDefaultBaseParams) {
+  const TraceBuffer trace = polluting_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+  base.params = SpParams::from_distance_rp(16, 0.5);
+  EXPECT_THROW(run_adaptive_experiment(trace, base, AdaptiveConfig{}),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveApiContract, RejectsInvalidConfig) {
+  const TraceBuffer trace = polluting_trace();
+  SpExperimentConfig base;
+  base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
+  AdaptiveConfig bad;
+  bad.interval_iters = 0;
+  EXPECT_THROW(run_adaptive_experiment(trace, base, bad),
+               std::invalid_argument);
+  bad = AdaptiveConfig{};
+  bad.rp = 2.0;
+  EXPECT_THROW(run_adaptive_experiment(trace, base, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spf

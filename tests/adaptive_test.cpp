@@ -101,9 +101,9 @@ TEST(AdaptiveRunTest, ConvergesAwayFromPollutingStart) {
   acfg.max_distance = 2048;
   acfg.initial_distance = 2048;  // absurdly early prefetches
   acfg.increase_step = 8;
+  acfg.interval_iters = 2000;
 
-  const AdaptiveRunResult r =
-      run_adaptive_experiment(trace, base, acfg, /*interval_iters=*/2000);
+  const AdaptiveRunResult r = run_adaptive_experiment(trace, base, acfg);
   ASSERT_GE(r.intervals, 10u);
   EXPECT_LT(r.final_distance(), 2048u / 4);
   // Trajectory must be non-increasing until it leaves the polluting regime.
@@ -117,8 +117,9 @@ TEST(AdaptiveRunTest, AggregateCountsAllIntervals) {
   const TraceBuffer trace = w.emit_trace();
   SpExperimentConfig base;
   base.sim.l2 = CacheGeometry(256 * 1024, 16, 64);
-  const AdaptiveRunResult r =
-      run_adaptive_experiment(trace, base, cfg(), 1000);
+  AdaptiveConfig acfg = cfg();
+  acfg.interval_iters = 1000;
+  const AdaptiveRunResult r = run_adaptive_experiment(trace, base, acfg);
   EXPECT_EQ(r.intervals, 8u);
   EXPECT_EQ(r.distance_trajectory.size(), 8u);
   EXPECT_GT(r.aggregate.l2_lookups, 0u);

@@ -3,6 +3,7 @@
 //  * a throwing job is isolated (captured outcome, sweep completes);
 //  * aggregated CSV/JSONL artifacts are byte-identical across thread counts;
 //  * progress reports are serialized and monotone.
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -133,6 +134,84 @@ TEST(Sweep, CellsExpandInGridOrder) {
     EXPECT_EQ(r.cells[i].cell.rp, want_rp[i]);
     EXPECT_EQ(r.cells[i].cell.workload, "em3d");
   }
+}
+
+TEST(Sweep, ControllerAxisExpandsInnermostAndCarriesTrajectories) {
+  SweepSpec spec = tiny_spec();
+  spec.distances = {4};
+  spec.rps = {0.5};
+  spec.controllers = {ControllerKind::kStatic, ControllerKind::kAdaptiveAimd,
+                      ControllerKind::kAdaptiveCapped};
+  spec.adaptive.interval_iters = 500;
+  spec.adaptive.max_distance = 1024;
+  const SweepResult r = run_sweep(spec, SweepOptions{.threads = 1});
+  ASSERT_EQ(r.cells.size(), 3u);
+  EXPECT_EQ(r.failed_count(), 0u);
+  EXPECT_EQ(r.cells[0].cell.controller, ControllerKind::kStatic);
+  EXPECT_EQ(r.cells[1].cell.controller, ControllerKind::kAdaptiveAimd);
+  EXPECT_EQ(r.cells[2].cell.controller, ControllerKind::kAdaptiveCapped);
+
+  // Static cells carry no trajectory; adaptive cells carry a full one.
+  EXPECT_FALSE(r.cells[0].adaptive.has_value());
+  for (const std::size_t i : {1u, 2u}) {
+    ASSERT_TRUE(r.cells[i].adaptive.has_value()) << "cell " << i;
+    const AdaptiveCellStats& stats = *r.cells[i].adaptive;
+    EXPECT_GT(stats.intervals, 0u);
+    EXPECT_EQ(stats.trajectory.size(), stats.intervals);
+    EXPECT_LE(stats.final_distance, stats.distance_cap);
+    for (const std::uint32_t d : stats.trajectory) {
+      EXPECT_GE(d, spec.adaptive.min_distance);
+      EXPECT_LE(d, stats.distance_cap);
+    }
+  }
+  // The free AIMD walk keeps the spec's ceiling; the capped walk is clamped
+  // to the plane's Set-Affinity bound (the paper's static analysis still
+  // governs the dynamic controller).
+  EXPECT_EQ(r.cells[1].adaptive->distance_cap, 1024u);
+  ASSERT_GT(r.cells[2].cell.bound_upper, 0u);
+  EXPECT_EQ(r.cells[2].adaptive->distance_cap,
+            std::min(1024u, r.cells[2].cell.bound_upper));
+
+  // The static cell is the classic fixed-distance run: identical to the
+  // same grid swept without a controller axis.
+  SweepSpec static_only = spec;
+  static_only.controllers = {ControllerKind::kStatic};
+  const SweepResult s = run_sweep(static_only, SweepOptions{.threads = 1});
+  ASSERT_EQ(s.cells.size(), 1u);
+  EXPECT_EQ(s.cells[0].cmp->sp.runtime, r.cells[0].cmp->sp.runtime);
+  EXPECT_EQ(s.cells[0].cmp->sp.l2_lookups, r.cells[0].cmp->sp.l2_lookups);
+}
+
+TEST(Sweep, AdaptiveArtifactsAreByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec = tiny_spec();
+  spec.rps = {0.5};
+  spec.controllers = {ControllerKind::kStatic, ControllerKind::kAdaptiveAimd,
+                      ControllerKind::kAdaptiveCapped};
+  spec.adaptive.interval_iters = 500;
+  const SweepResult a = run_sweep(spec, SweepOptions{.threads = 1});
+  const SweepResult b = run_sweep(spec, SweepOptions{.threads = 8});
+  ASSERT_EQ(a.cells.size(), 9u);  // 3 distances x 3 controllers
+  EXPECT_EQ(a.failed_count(), 0u);
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+  EXPECT_NE(a.to_jsonl().find("\"controller\":\"adaptive-capped\""),
+            std::string::npos);
+  EXPECT_NE(a.to_jsonl().find("\"trajectory\":["), std::string::npos);
+  EXPECT_NE(a.to_jsonl().find("\"pollution_rate\":"), std::string::npos);
+}
+
+TEST(Sweep, ValidateChecksControllerAxis) {
+  SweepSpec spec = tiny_spec();
+  spec.controllers = {};
+  EXPECT_NE(spec.validate(), "");
+  spec.controllers = {ControllerKind::kStatic, ControllerKind::kStatic};
+  EXPECT_NE(spec.validate(), "");
+  spec.controllers = {ControllerKind::kAdaptiveAimd};
+  spec.adaptive.interval_iters = 0;
+  EXPECT_NE(spec.validate(), "");
+  // An unrunnable adaptive policy is fine while the axis is all-static.
+  spec.controllers = {ControllerKind::kStatic};
+  EXPECT_EQ(spec.validate(), "");
 }
 
 TEST(Sweep, ThrowingCellIsIsolatedAndReported) {
