@@ -125,6 +125,23 @@ inline double require_double(const CliFlags& flags, const std::string& name,
   return v;
 }
 
+/// Strict accessor: bare `--name`, `--name=<bool>`, or the default.
+/// CliFlags::get_bool maps any unrecognized value to false; here a typo
+/// ("--phase-bounds=ture") is a usage error instead of a silent default.
+inline bool require_bool(const CliFlags& flags, const std::string& name,
+                         bool def) {
+  if (!flags.has(name)) return def;
+  const std::string raw = flags.get(name, "");
+  if (raw.empty() || raw == "true" || raw == "1" || raw == "yes" ||
+      raw == "on") {
+    return true;
+  }
+  if (raw == "false" || raw == "0" || raw == "no" || raw == "off") {
+    return false;
+  }
+  usage_error("bad --" + name + " value '" + raw + "' (want true|false)");
+}
+
 inline Scale parse_scale(const CliFlags& flags) {
   Scale s;
   const std::string scale_name = flags.get("scale", "ci");

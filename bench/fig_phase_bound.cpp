@@ -1,24 +1,22 @@
-// fig_adaptive — adaptive-vs-static distance-controller ablation at paper
-// scale.
+// fig_phase_bound — whole-run vs per-phase Set-Affinity capping ablation.
 //
 // Runs the (workload × A_SKI × controller) grid through
-// spf::orchestrate::run_sweep with the controller axis engaged: every
-// distance is simulated three ways — static (the paper's fixed A_SKI),
-// adaptive-AIMD (feedback walk, free range), and adaptive-capped (the same
-// walk with max_distance clamped to the plane's Set-Affinity bound, i.e. the
-// paper's thesis expressed as a controller policy). The JSONL artifact
-// carries, per cell, the normalized runtime / pollution rate next to the
-// controller's final and mean distance and full trajectory, so one file
-// answers "does the feedback walk rediscover the static bound, and what does
-// it cost while getting there". Artifacts are byte-identical at any
-// --threads value (slot-indexed aggregation; see docs/orchestrator.md).
+// spf::orchestrate::run_sweep with the phase-detection axis engaged: every
+// plane's Set-Affinity profile is segmented into phases by the incremental
+// analyzer (docs/method.md), and the controller axis compares adaptive-capped
+// (one whole-run bound clamps the AIMD walk for the entire run) against
+// adaptive-phase-capped (the walk is re-clamped to the active phase's bound
+// at each interval boundary). The JSONL artifact carries, per adaptive cell,
+// the phase-bound schedule, every re-clamp event, and the full distance
+// trajectory, so one file answers "when the working set shifts mid-run, does
+// per-phase capping cut pollution that the whole-run bound cannot see".
+// Artifacts are byte-identical at any --threads value (slot-indexed
+// aggregation; see docs/orchestrator.md).
 //
 // Flags (all optional; argument-free = CI-scale em3d/mcf/mst ablation):
 //   --workloads=em3d,mcf,mst     comma list (default all three)
-//   --controllers=static,aimd,capped  controller axis (default all three;
-//                                phase-capped adds the per-phase re-clamped
-//                                walk — bench/fig_phase_bound is the focused
-//                                whole-run-vs-per-phase ablation)
+//   --controllers=capped,phase-capped  controller axis (default both; also
+//                                accepts static and aimd for context rows)
 //   --distances=1,2,4,8          explicit starting A_SKI list (default:
 //                                auto ladder around each plane's bound)
 //   --rps=0.5                    prefetch ratios (default 0.5)
@@ -27,12 +25,18 @@
 //   --max-distance=N             AIMD ceiling before any bound clamp
 //                                (default 1024)
 //   --warm                       carry simulator cache/MSHR state across
-//                                interval boundaries (default off: cold
-//                                intervals, the bit-identical reference)
+//                                interval boundaries (default off)
+//   --phase-window=N             phase-detection window in outer iterations
+//                                (default 64)
+//   --phase-hysteresis=X         relative EMA shift that opens a new phase
+//                                (default 0.5)
+//   --phase-bounds=BOOL          keep phase-capped in the default controller
+//                                axis (default true; =false degenerates to a
+//                                whole-run-capped-only run for A/B diffing)
 //   --jsonl=PATH                 JSONL artifact (- = stdout)
 //   --threads=N                  0 = hardware concurrency, 1 = serial
-//   --metrics-out= / --trace-out=  telemetry artifacts (adaptive.interval
-//                                spans + adaptive.distance counter track)
+//   --metrics-out= / --trace-out=  telemetry artifacts (affinity.phase spans
+//                                + affinity.bound counter track)
 //   --scale=paper, --l2=, --assoc=, --line=, --csv  as in every bench binary
 #include <fstream>
 #include <iostream>
@@ -74,8 +78,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // --phase-bounds=false drops phase-capped from the *default* axis so the
+  // same command line can be A/B-diffed; an explicit --controllers list is
+  // taken verbatim either way.
+  const bool phase_bounds = bench::require_bool(flags, "phase-bounds", true);
+  const std::string default_controllers =
+      phase_bounds ? "capped,phase-capped" : "capped";
   spec.controllers.clear();
-  for (const auto& c : split(flags.get("controllers", "static,aimd,capped"), ',')) {
+  for (const auto& c :
+       split(flags.get("controllers", default_controllers), ',')) {
     if (c == "static") {
       spec.controllers.push_back(orchestrate::ControllerKind::kStatic);
     } else if (c == "aimd") {
@@ -114,11 +125,15 @@ int main(int argc, char** argv) {
   spec.adaptive.max_distance = static_cast<std::uint32_t>(
       bench::require_uint(flags, "max-distance", 1024));
   spec.adaptive.warm_intervals = flags.get_bool("warm", false);
+  spec.phase.window_iters = static_cast<std::uint32_t>(
+      bench::require_uint(flags, "phase-window", spec.phase.window_iters));
+  spec.phase.hysteresis =
+      bench::require_double(flags, "phase-hysteresis", spec.phase.hysteresis);
   const std::string jsonl_path = flags.get("jsonl", "");
   // Constructed before the unknown-flag check: the sink consumes
   // --metrics-out=/--trace-out= and installs the telemetry session the sweep
-  // (and the per-interval adaptive spans) record into.
-  bench::TelemetrySink telemetry_sink(flags, scale, "fig_adaptive");
+  // (and the per-phase affinity spans) record into.
+  bench::TelemetrySink telemetry_sink(flags, scale, "fig_phase_bound");
   bench::fail_on_unknown_flags(flags);
 
   if (const std::string problem = spec.validate(); !problem.empty()) {
@@ -146,7 +161,7 @@ int main(int argc, char** argv) {
     result.write_jsonl(std::cout);
   } else {
     if (jsonl_file.is_open()) result.write_jsonl(jsonl_file);
-    std::cout << "== fig_adaptive: " << result.cells.size() << " cells ("
+    std::cout << "== fig_phase_bound: " << result.cells.size() << " cells ("
               << result.failed_count() << " failed) ==\n\n";
     bench::emit(result.to_table(), scale);
   }

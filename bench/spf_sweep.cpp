@@ -14,6 +14,15 @@
 //   --geoms=1048576:16:64;...  semicolon list of bytes:ways:line geometries
 //                              (default: one geometry from --l2/--assoc/--line)
 //   --helpers=blocking,prefetch  helper kinds (default blocking)
+//   --phase-bounds             add the adaptive-phase-capped controller to
+//                              the axis: the AIMD walk re-clamped to the
+//                              active Set-Affinity phase's bound at each
+//                              interval boundary (docs/method.md)
+//   --phase-window=N           phase-detection window in outer iterations
+//                              (default 64; every plane reports phase_count
+//                              in the JSONL regardless of --phase-bounds)
+//   --phase-hysteresis=X       relative EMA shift that opens a new phase
+//                              (default 0.5)
 //   --jsonl=PATH               also write a JSONL artifact (- = stdout)
 //   --threads=N                0 = hardware concurrency, 1 = serial
 //   --metrics-out=PATH         telemetry metrics dump (JSONL)
@@ -106,6 +115,14 @@ int main(int argc, char** argv) {
       }
       spec.geometries.emplace_back(bytes, ways, line);
     }
+  }
+  spec.phase.window_iters = static_cast<std::uint32_t>(
+      bench::require_uint(flags, "phase-window", spec.phase.window_iters));
+  spec.phase.hysteresis =
+      bench::require_double(flags, "phase-hysteresis", spec.phase.hysteresis);
+  if (bench::require_bool(flags, "phase-bounds", false)) {
+    spec.controllers.push_back(
+        orchestrate::ControllerKind::kAdaptivePhaseCapped);
   }
   const std::string jsonl_path = flags.get("jsonl", "");
   // Constructed before the unknown-flag check: the sink consumes

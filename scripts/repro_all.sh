@@ -81,9 +81,14 @@ fi
 } 2>&1 | tee -a bench_output.txt
 
 # Sanity-check the emitted timeline when python3 is around (same validator
-# ctest runs against the perf_smoke artifact).
+# ctest runs against the perf_smoke artifact), and hold the sweep JSONL to
+# its per-cell contracts (phase_count >= 1, one trajectory entry per
+# interval, re-clamped distances at or under their phase bounds).
 if [ -f sweep_trace.json ] && command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace_json.py sweep_trace.json
+fi
+if [ -f sweep_results.jsonl ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_bench_json.py --sweep sweep_results.jsonl
 fi
 
 # Adaptive-vs-static controller ablation: every workload × the distance
@@ -102,9 +107,30 @@ if [ -f fig_adaptive_trace.json ] && command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace_json.py fig_adaptive_trace.json
 fi
 
+# Whole-run vs per-phase capping ablation: adaptive-capped against
+# adaptive-phase-capped on every workload, JSONL carrying the per-cell phase
+# bound schedules and re-clamp events, validated against the same per-cell
+# contracts as the sweep artifact.
+{
+  echo "=============================================================="
+  echo "== build/bench/fig_phase_bound --threads=$THREADS"
+  echo "=============================================================="
+  build/bench/fig_phase_bound --threads="$THREADS" \
+    --jsonl=fig_phase_bound.jsonl --metrics-out=fig_phase_bound_metrics.jsonl \
+    --trace-out=fig_phase_bound_trace.json
+} 2>&1 | tee -a bench_output.txt
+
+if [ -f fig_phase_bound_trace.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace_json.py fig_phase_bound_trace.json
+fi
+if [ -f fig_phase_bound.jsonl ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_bench_json.py --sweep fig_phase_bound.jsonl
+fi
+
 if [[ "${1:-}" == "--paper" ]]; then
   {
-    for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior fig_adaptive; do
+    for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior fig_adaptive \
+             fig_phase_bound; do
       echo "=============================================================="
       echo "== build/bench/$b --scale=paper --threads=$THREADS"
       echo "=============================================================="

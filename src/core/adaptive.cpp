@@ -1,6 +1,8 @@
 #include "spf/core/adaptive.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -28,6 +30,14 @@ std::string AdaptiveConfig::validate() const {
   if (increase_step < 1) return "increase_step must be >= 1";
   if (interval_iters < 1) return "interval_iters must be >= 1";
   if (!(rp > 0.0) || rp > 1.0) return "rp must be in (0, 1]";
+  for (std::size_t i = 0; i < phase_caps.size(); ++i) {
+    if (phase_caps[i].upper_limit < 1) {
+      return "phase cap upper_limit must be >= 1";
+    }
+    if (i > 0 && phase_caps[i].begin_iter <= phase_caps[i - 1].begin_iter) {
+      return "phase caps must have strictly increasing begin_iter";
+    }
+  }
   return "";
 }
 
@@ -35,7 +45,8 @@ FeedbackDistanceController::FeedbackDistanceController(
     const AdaptiveConfig& config)
     : config_(config),
       distance_(std::clamp(config.initial_distance, config.min_distance,
-                           config.max_distance)) {
+                           config.max_distance)),
+      effective_max_(config.max_distance) {
   SPF_ASSERT(config.min_distance >= 1, "distance must stay positive");
   SPF_ASSERT(config.min_distance <= config.max_distance, "empty distance range");
   SPF_ASSERT(config.increase_step >= 1, "increase step must be positive");
@@ -60,12 +71,19 @@ AdaptiveAction FeedbackDistanceController::observe(
     return AdaptiveAction::kDecrease;
   }
   if (pollution_pm < config_.pollution_low_per_mille &&
-      late > config_.late_share && distance_ < config_.max_distance) {
-    distance_ = std::min(config_.max_distance, distance_ + config_.increase_step);
+      late > config_.late_share && distance_ < effective_max_) {
+    distance_ = std::min(effective_max_, distance_ + config_.increase_step);
     ++increases_;
     return AdaptiveAction::kIncrease;
   }
   return AdaptiveAction::kHold;
+}
+
+std::uint32_t FeedbackDistanceController::reclamp_max(std::uint32_t cap) {
+  effective_max_ =
+      std::clamp(cap, config_.min_distance, config_.max_distance);
+  distance_ = std::clamp(distance_, config_.min_distance, effective_max_);
+  return distance_;
 }
 
 std::string FeedbackDistanceController::to_string() const {
@@ -147,8 +165,47 @@ AdaptiveRunResult ExperimentContext::run_adaptive(
   const std::span<const TraceRecord> records = main_trace.records();
   SpRunSummary prev_cumulative;  // warm path: previous intervals' totals
   bool first_interval = true;
+  // Per-phase ceilings: the active cap is re-evaluated at every interval
+  // boundary; the ceiling is re-clamped (and an event recorded) only when
+  // the active phase changes. kNoCap covers iterations before the first
+  // cap's begin_iter; kUnresolved forces the first interval to resolve —
+  // and record — its phase, pinning the initial ceiling in the artifact.
+  constexpr std::ptrdiff_t kUnresolved = -2;
+  constexpr std::ptrdiff_t kNoCap = -1;
+  std::ptrdiff_t active_cap = kUnresolved;
+  std::unique_ptr<telemetry::ScopedSpan> phase_span;
   for (const Segment& seg :
        segment_by_iters(records, adaptive.interval_iters)) {
+    if (!adaptive.phase_caps.empty()) {
+      std::ptrdiff_t cap_idx = kNoCap;
+      for (std::size_t c = 0; c < adaptive.phase_caps.size() &&
+                              adaptive.phase_caps[c].begin_iter <= seg.iter_base;
+           ++c) {
+        cap_idx = static_cast<std::ptrdiff_t>(c);
+      }
+      if (cap_idx != active_cap) {
+        active_cap = cap_idx;
+        const std::uint32_t ceiling =
+            cap_idx == kNoCap
+                ? adaptive.max_distance
+                : adaptive.phase_caps[static_cast<std::size_t>(cap_idx)]
+                      .upper_limit;
+        const std::uint32_t after = controller.reclamp_max(ceiling);
+        telemetry::count(telemetry::Counter::kAdaptiveReclamps);
+        telemetry::sample("affinity.bound", controller.max_distance());
+        phase_span.reset();
+        phase_span = std::make_unique<telemetry::ScopedSpan>(
+            "affinity.phase", "bound",
+            static_cast<std::uint64_t>(controller.max_distance()));
+        result.reclamps.push_back(PhaseReclampEvent{
+            .interval = result.intervals,
+            .phase = cap_idx == kNoCap
+                         ? std::uint32_t{0xffffffffu}
+                         : static_cast<std::uint32_t>(cap_idx),
+            .cap = controller.max_distance(),
+            .distance_after = after});
+      }
+    }
     const std::uint32_t distance = controller.distance();
     SPF_SPAN("adaptive.interval", "distance", distance);
     telemetry::count(telemetry::Counter::kAdaptiveIntervals);

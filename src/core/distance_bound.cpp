@@ -76,4 +76,126 @@ DistanceBound refine_with_helper(
   return refined;
 }
 
+std::uint32_t PhasedDistanceBound::bound_at(std::uint32_t outer_iter) const {
+  std::uint32_t cap = whole.upper_limit;
+  for (const PhaseDistanceBound& p : phases) {
+    if (outer_iter < p.begin_iter) break;
+    cap = p.upper_limit;
+  }
+  return cap;
+}
+
+std::uint32_t PhasedDistanceBound::min_phase_bound() const {
+  std::uint32_t best = whole.upper_limit;
+  for (const PhaseDistanceBound& p : phases) {
+    best = std::min(best, p.upper_limit);
+  }
+  return best;
+}
+
+std::string PhasedDistanceBound::to_string() const {
+  std::ostringstream out;
+  out << "PhasedDistanceBound{" << whole.to_string() << " phases=[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseDistanceBound& p = phases[i];
+    if (i != 0) out << " ";
+    out << "[" << p.begin_iter << "," << p.end_iter << ")<=" << p.upper_limit;
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+// Phases with samples get the paper's per-phase cap via `cap_of`; sampled-
+// less phases inherit the whole-run limit (no evidence to relax them).
+template <typename CapFn>
+std::vector<PhaseDistanceBound> phase_bounds_from(
+    const std::vector<AffinityPhase>& phases, std::uint32_t whole_limit,
+    CapFn cap_of) {
+  std::vector<PhaseDistanceBound> out;
+  out.reserve(phases.size());
+  for (const AffinityPhase& p : phases) {
+    PhaseDistanceBound b;
+    b.begin_iter = p.begin_iter;
+    b.end_iter = p.end_iter;
+    b.min_sa = p.min_sa;
+    b.upper_limit = p.samples != 0 ? cap_of(p.min_sa) : whole_limit;
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+PhasedDistanceBound estimate_phase_bounds(
+    const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts, const CacheGeometry& l2,
+    const PhaseAffinityConfig& config) {
+  SPF_SPAN("phase-bound");
+  telemetry::count(telemetry::Counter::kDistanceBounds);
+  telemetry::count(telemetry::Counter::kPhaseAnalyses);
+  const PhasedSaResult sa =
+      analyze_workload_sa_phased(main_trace, invocation_starts, l2, config);
+  SPF_ASSERT(sa.whole.merged.any_saturated(),
+             "no cache set saturates: the working set fits in the cache and "
+             "prefetch distance is unconstrained by pollution");
+  telemetry::count(telemetry::Counter::kAffinityPhases, sa.phases.size());
+  PhasedDistanceBound out;
+  out.whole.original_min_sa = sa.whole.merged.min_sa();
+  out.whole.upper_limit =
+      std::max<std::uint32_t>(1, out.whole.original_min_sa / 2);
+  out.phases = phase_bounds_from(
+      sa.phases, out.whole.upper_limit, [](std::uint32_t min_sa) {
+        return std::max<std::uint32_t>(1, min_sa / 2);
+      });
+  return out;
+}
+
+PhasedDistanceBound refine_phase_bounds(
+    const PhasedDistanceBound& bound, const TraceBuffer& main_trace,
+    const std::vector<std::uint32_t>& invocation_starts, const SpParams& params,
+    const CacheGeometry& l2, const DistanceBoundOptions& options) {
+  SPF_SPAN("phase-refine");
+  telemetry::count(telemetry::Counter::kRefineRuns);
+  telemetry::count(telemetry::Counter::kPhaseAnalyses);
+  // Same combined main+helper reference stream as refine_with_helper (see
+  // the re-anchoring rationale there); the phases are detected on that
+  // merged stream, so a phase's cap reflects the helper pressure *inside* it.
+  PhasedSaResult sa;
+  if (options.streaming_refine) {
+    MergeByIterCursor combined(
+        TraceViewCursor(main_trace),
+        HelperViewCursor(main_trace, params, {}, /*re_anchor=*/true));
+    sa = analyze_workload_sa_phased(combined, invocation_starts, l2,
+                                    options.phase);
+  } else {
+    TraceBuffer helper = make_helper_trace(main_trace, params);
+    for (TraceRecord& r : helper.mutable_records()) {
+      r.outer_iter =
+          r.outer_iter >= params.a_ski ? r.outer_iter - params.a_ski : 0;
+    }
+    const TraceBuffer combined = merge_traces_by_iter(main_trace, helper);
+    sa = analyze_workload_sa_phased(combined, invocation_starts, l2,
+                                    options.phase);
+  }
+  telemetry::count(telemetry::Counter::kAffinityPhases, sa.phases.size());
+  PhasedDistanceBound refined;
+  refined.whole = bound.whole;
+  if (sa.whole.merged.any_saturated()) {
+    refined.whole.with_helper_min_sa = sa.whole.merged.min_sa();
+    refined.whole.upper_limit = std::max<std::uint32_t>(
+        1, std::min(*refined.whole.with_helper_min_sa,
+                    bound.whole.original_min_sa / 2));
+  }
+  const std::uint32_t original_half =
+      std::max<std::uint32_t>(1, bound.whole.original_min_sa / 2);
+  refined.phases = phase_bounds_from(
+      sa.phases, refined.whole.upper_limit,
+      [original_half](std::uint32_t min_sa) {
+        return std::max<std::uint32_t>(1, std::min(min_sa, original_half));
+      });
+  return refined;
+}
+
 }  // namespace spf

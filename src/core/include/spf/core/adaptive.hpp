@@ -28,6 +28,16 @@
 
 namespace spf {
 
+/// One phase's distance ceiling, in cumulative outer-iteration space (the
+/// orchestrator derives these from PhasedDistanceBound::phases; see
+/// spf/core/distance_bound.hpp).
+struct PhaseDistanceCap {
+  /// First outer iteration the cap applies to; a cap stays active until the
+  /// next one's begin_iter.
+  std::uint32_t begin_iter = 0;
+  std::uint32_t upper_limit = 1;
+};
+
 struct AdaptiveConfig {
   std::uint32_t min_distance = 1;
   /// Typically the Set-Affinity bound: the static analysis still caps the
@@ -55,6 +65,13 @@ struct AdaptiveConfig {
   /// path removes the per-interval warmup transient. Warm aggregates are
   /// one continuous run's totals, not a sum of independent interval runs.
   bool warm_intervals = false;
+  /// Per-phase ceilings, sorted by strictly increasing begin_iter. When
+  /// non-empty, run_adaptive re-clamps the controller's ceiling at each
+  /// interval boundary to the cap of the phase covering the interval's first
+  /// iteration (intersected with [min_distance, max_distance]); intervals
+  /// before the first cap use max_distance. Empty keeps the single whole-run
+  /// ceiling — bit-identical to the pre-phase behaviour.
+  std::vector<PhaseDistanceCap> phase_caps;
 
   /// Empty string if the config is runnable; otherwise a one-line reason
   /// (the same conditions FeedbackDistanceController asserts, plus the
@@ -80,10 +97,20 @@ class FeedbackDistanceController {
   explicit FeedbackDistanceController(const AdaptiveConfig& config);
 
   [[nodiscard]] std::uint32_t distance() const noexcept { return distance_; }
+  /// Ceiling currently in effect (config max until re-clamped).
+  [[nodiscard]] std::uint32_t max_distance() const noexcept {
+    return effective_max_;
+  }
 
   /// Digest one interval; returns the action taken. distance() afterwards
   /// reflects the new setting for the next interval.
   AdaptiveAction observe(const IntervalFeedback& interval);
+
+  /// Re-clamps the walk's ceiling to `cap` (intersected with the config's
+  /// [min_distance, max_distance]) and pulls the current distance under it.
+  /// Returns the distance after clamping. A later call with a higher cap
+  /// raises the ceiling again — the walk then probes upward on its own.
+  std::uint32_t reclamp_max(std::uint32_t cap);
 
   [[nodiscard]] std::uint64_t increases() const noexcept { return increases_; }
   [[nodiscard]] std::uint64_t decreases() const noexcept { return decreases_; }
@@ -92,6 +119,7 @@ class FeedbackDistanceController {
  private:
   AdaptiveConfig config_;
   std::uint32_t distance_;
+  std::uint32_t effective_max_;
   std::uint64_t increases_ = 0;
   std::uint64_t decreases_ = 0;
 };
@@ -101,6 +129,20 @@ class FeedbackDistanceController {
 /// counters back, and aggregates. Cold intervals restart the simulator per
 /// segment; warm_intervals carries cache/MSHR state across boundaries (the
 /// aggregate is then the continuous run's cumulative summary).
+/// One ceiling re-clamp applied at an interval boundary (phase_caps only).
+struct PhaseReclampEvent {
+  /// Interval index (into distance_trajectory) the new ceiling first applied
+  /// to.
+  std::uint64_t interval = 0;
+  /// Index into AdaptiveConfig::phase_caps; UINT32_MAX for the implicit
+  /// "before the first cap" region (ceiling = max_distance).
+  std::uint32_t phase = 0;
+  /// Ceiling after intersection with [min_distance, max_distance].
+  std::uint32_t cap = 0;
+  /// Controller distance right after the clamp (<= cap by construction).
+  std::uint32_t distance_after = 0;
+};
+
 struct AdaptiveRunResult {
   SpRunSummary aggregate;
   /// Distance in effect during each interval (so trajectory.front() is the
@@ -114,6 +156,9 @@ struct AdaptiveRunResult {
   /// Controller action tallies over the whole run.
   std::uint64_t increases = 0;
   std::uint64_t decreases = 0;
+  /// Ceiling re-clamps, in interval order (empty unless phase_caps engaged —
+  /// the first interval always records one then, pinning the initial phase).
+  std::vector<PhaseReclampEvent> reclamps;
 
   [[nodiscard]] std::uint32_t final_distance() const {
     return distance_trajectory.empty() ? initial_distance

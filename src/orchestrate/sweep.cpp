@@ -28,9 +28,11 @@ std::vector<std::uint32_t> auto_distances(std::uint32_t bound) {
 }
 
 /// Baseline + distance bound shared by every cell of one workload × geometry
-/// plane.
+/// plane. The bound analysis is the phased one: bound.whole is bit-identical
+/// to the legacy estimate_distance_bound, and the phase partition feeds
+/// kAdaptivePhaseCapped cells (and the phase_count artifact field).
 struct Plane {
-  DistanceBound bound;
+  PhasedDistanceBound bound;
   SpRunSummary baseline;
 };
 
@@ -49,6 +51,7 @@ const char* to_string(ControllerKind kind) noexcept {
     case ControllerKind::kStatic: return "static";
     case ControllerKind::kAdaptiveAimd: return "adaptive-aimd";
     case ControllerKind::kAdaptiveCapped: return "adaptive-capped";
+    case ControllerKind::kAdaptivePhaseCapped: return "adaptive-phase-capped";
   }
   return "?";
 }
@@ -98,6 +101,9 @@ std::string SweepSpec::validate() const {
     if (const std::string problem = adaptive.validate(); !problem.empty()) {
       return "adaptive controller policy: " + problem;
     }
+  }
+  if (const std::string problem = phase.validate(); !problem.empty()) {
+    return "phase affinity: " + problem;
   }
   return "";
 }
@@ -166,8 +172,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         const std::shared_ptr<const TraceSource> src_ptr = source_for(w);
         const TraceSource& src = *src_ptr;
         Plane& plane = planes[p];
-        plane.bound = estimate_distance_bound(src.trace, src.invocation_starts,
-                                              spec.geometries[g]);
+        plane.bound = estimate_phase_bounds(src.trace, src.invocation_starts,
+                                            spec.geometries[g], spec.phase);
         SpExperimentConfig cfg;
         cfg.sim.l2 = spec.geometries[g];
         cfg.sim.streaming_cores = opts.streaming_cores;
@@ -188,7 +194,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
       std::vector<std::uint32_t> distances = spec.distances;
       if (distances.empty()) {
         distances =
-            plane_ok ? auto_distances(planes[p].bound.upper_limit)
+            plane_ok ? auto_distances(planes[p].bound.whole.upper_limit)
                      : std::vector<std::uint32_t>{0};
       }
       for (const HelperKind helper : spec.helpers) {
@@ -202,7 +208,9 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
               cell.helper = helper;
               cell.rp = rp;
               cell.distance = distance;
-              cell.bound_upper = plane_ok ? planes[p].bound.upper_limit : 0;
+              cell.bound_upper =
+                  plane_ok ? planes[p].bound.whole.upper_limit : 0;
+              cell.phase_count = plane_ok ? planes[p].bound.phase_count() : 0;
               cell.controller = controller;
               cells.push_back(cell);
               cell_plane.push_back(p);
@@ -254,6 +262,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
                 acfg.min_distance,
                 std::min(acfg.max_distance, cell.bound_upper));
           }
+          if (cell.controller == ControllerKind::kAdaptivePhaseCapped) {
+            // The policy ceiling stays; each phase's bound re-clamps the walk
+            // at interval boundaries (run_adaptive intersects the caps with
+            // the policy range).
+            acfg.phase_caps.reserve(planes[p].bound.phases.size());
+            for (const PhaseDistanceBound& ph : planes[p].bound.phases) {
+              acfg.phase_caps.push_back(
+                  PhaseDistanceCap{ph.begin_iter, ph.upper_limit});
+            }
+          }
           const AdaptiveRunResult run =
               contexts.acquire()->run_adaptive(src.trace, cfg, acfg);
           cmp.sp = run.aggregate;
@@ -265,6 +283,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
           stats.increases = run.increases;
           stats.decreases = run.decreases;
           stats.distance_cap = acfg.max_distance;
+          stats.phase_caps = std::move(acfg.phase_caps);
+          stats.reclamps = run.reclamps;
           result.cells[i].adaptive = std::move(stats);
         }
         result.cells[i].cmp = cmp;  // engaged only when the run succeeded
@@ -295,10 +315,11 @@ std::size_t SweepResult::failed_count() const {
 
 Table SweepResult::to_table() const {
   SPF_SPAN("aggregate");
-  Table t({"workload", "L2", "helper", "controller", "RP", "A_SKI", "vs bound",
-           "status", "Normalized_Runtime", "Normalized_MemoryAccesses",
-           "Normalized_HotMisses", "dTotally_hit(%)", "dTotally_miss(%)",
-           "dPartially_hit(%)", "pollution"});
+  Table t({"workload", "L2", "helper", "controller", "RP", "A_SKI", "phases",
+           "vs bound", "status", "Normalized_Runtime",
+           "Normalized_MemoryAccesses", "Normalized_HotMisses",
+           "dTotally_hit(%)", "dTotally_miss(%)", "dPartially_hit(%)",
+           "pollution"});
   for (const auto& c : cells) {
     t.row()
         .add(c.cell.workload)
@@ -306,7 +327,8 @@ Table SweepResult::to_table() const {
         .add(to_string(c.cell.helper))
         .add(to_string(c.cell.controller))
         .add(c.cell.rp, 2)
-        .add(static_cast<std::uint64_t>(c.cell.distance));
+        .add(static_cast<std::uint64_t>(c.cell.distance))
+        .add(static_cast<std::uint64_t>(c.cell.phase_count));
     if (!c.ok) {
       t.add("-").add("failed: " + c.error);
       for (int i = 0; i < 7; ++i) t.add("-");
@@ -342,6 +364,7 @@ void SweepResult::write_jsonl(std::ostream& out) const {
         .add("rp", c.cell.rp)
         .add("distance", c.cell.distance)
         .add("bound_upper", c.cell.bound_upper)
+        .add("phase_count", c.cell.phase_count)
         .add("within_bound", c.cell.distance < c.cell.bound_upper)
         .add("ok", c.ok);
     if (!c.ok) {
@@ -378,6 +401,34 @@ void SweepResult::write_jsonl(std::ostream& out) const {
           .add("adaptive_decreases", c.adaptive->decreases)
           .add("distance_cap", c.adaptive->distance_cap)
           .add_raw("trajectory", trajectory);
+      if (!c.adaptive->phase_caps.empty()) {
+        std::string caps = "[";
+        for (std::size_t i = 0; i < c.adaptive->phase_caps.size(); ++i) {
+          const PhaseDistanceCap& cap = c.adaptive->phase_caps[i];
+          if (i != 0) caps += ",";
+          caps += "{\"begin\":" + std::to_string(cap.begin_iter) +
+                  ",\"upper\":" + std::to_string(cap.upper_limit) + "}";
+        }
+        caps += "]";
+        std::string reclamps = "[";
+        for (std::size_t i = 0; i < c.adaptive->reclamps.size(); ++i) {
+          const PhaseReclampEvent& ev = c.adaptive->reclamps[i];
+          if (i != 0) reclamps += ",";
+          // phase 0xffffffff marks the implicit pre-first-cap region.
+          const std::string phase =
+              ev.phase == 0xffffffffu ? "-1" : std::to_string(ev.phase);
+          reclamps += "{\"interval\":" + std::to_string(ev.interval) +
+                      ",\"phase\":" + phase +
+                      ",\"cap\":" + std::to_string(ev.cap) +
+                      ",\"distance\":" + std::to_string(ev.distance_after) +
+                      "}";
+        }
+        reclamps += "]";
+        obj.add("reclamp_count",
+                static_cast<std::uint64_t>(c.adaptive->reclamps.size()))
+            .add_raw("phase_bounds", caps)
+            .add_raw("reclamps", reclamps);
+      }
     }
     out << obj;
   }

@@ -59,8 +59,11 @@ class SetAffinityAnalyzer {
 
   /// Stream one access belonging to outer-loop iteration `outer_iter`.
   /// Iterations are 0-based; the recorded SA is `outer_iter + 1` ("iteration
-  /// count", per the paper).
-  void observe(Addr addr, std::uint32_t outer_iter);
+  /// count", per the paper). Returns the SA sample this access recorded, or 0
+  /// when it recorded none (SA is always >= 1) — the phase-incremental
+  /// analyzer uses the return to attribute samples to iteration windows;
+  /// whole-run callers ignore it.
+  std::uint32_t observe(Addr addr, std::uint32_t outer_iter);
 
   /// Finalize and return the result. The analyzer may be reused afterwards
   /// (state is reset).

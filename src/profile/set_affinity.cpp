@@ -43,7 +43,8 @@ SetAffinityAnalyzer::SetAffinityAnalyzer(const CacheGeometry& geometry,
                                          SetAffinityMode mode)
     : geometry_(geometry), mode_(mode) {}
 
-void SetAffinityAnalyzer::observe(Addr addr, std::uint32_t outer_iter) {
+std::uint32_t SetAffinityAnalyzer::observe(Addr addr,
+                                           std::uint32_t outer_iter) {
   ++result_.accesses;
   result_.outer_iterations = std::max(result_.outer_iterations, outer_iter + 1);
 
@@ -51,10 +52,10 @@ void SetAffinityAnalyzer::observe(Addr addr, std::uint32_t outer_iter) {
   const std::uint64_t set = geometry_.set_of_line(line);
   SetState& state = sets_[set];
 
-  if (state.saturated && mode_ == SetAffinityMode::kFirstSaturation) return;
+  if (state.saturated && mode_ == SetAffinityMode::kFirstSaturation) return 0;
 
   // Figure 3: only *new* distinct blocks advance the set's count.
-  if (!state.blocks.insert(line).second) return;
+  if (!state.blocks.insert(line).second) return 0;
 
   if (state.blocks.size() >= geometry_.ways()) {
     // Iteration count is 1-based and measured from the current window's
@@ -70,7 +71,9 @@ void SetAffinityAnalyzer::observe(Addr addr, std::uint32_t outer_iter) {
       state.blocks.clear();
       state.window_start = outer_iter + 1;
     }
+    return sa;
   }
+  return 0;
 }
 
 SetAffinityResult SetAffinityAnalyzer::finish() {

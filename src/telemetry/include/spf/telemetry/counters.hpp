@@ -36,12 +36,18 @@ enum class Counter : std::uint16_t {
   // distance-bound analysis
   kDistanceBounds,  // estimate_distance_bound calls
   kRefineRuns,      // refine_with_helper calls
+  // phase-incremental Set-Affinity analysis
+  // (spf/profile/incremental_affinity.hpp)
+  kPhaseAnalyses,   // phased analyses completed (estimate or refine)
+  kAffinityPhases,  // phases those analyses detected (>= 1 each)
   // adaptive-distance interval replay (spf/core/adaptive.hpp)
   kAdaptiveRuns,       // run_adaptive calls
   kAdaptiveIntervals,  // observation intervals replayed
   kAdaptiveIncreases,  // controller actions by kind
   kAdaptiveDecreases,
   kAdaptiveHolds,
+  kAdaptiveReclamps,  // per-phase ceiling re-clamps applied at interval
+                      // boundaries (phase_caps engaged)
   // simulator (bulk-added once per run from the SimResult; never on the
   // per-access hot path)
   kL2Lookups,

@@ -19,11 +19,14 @@ const char* to_string(Counter c) noexcept {
       return "replay.helper_scratch_bytes_saved";
     case Counter::kDistanceBounds: return "refine.distance_bounds";
     case Counter::kRefineRuns: return "refine.runs";
+    case Counter::kPhaseAnalyses: return "affinity.phase_runs";
+    case Counter::kAffinityPhases: return "affinity.phases";
     case Counter::kAdaptiveRuns: return "adaptive.runs";
     case Counter::kAdaptiveIntervals: return "adaptive.intervals";
     case Counter::kAdaptiveIncreases: return "adaptive.increases";
     case Counter::kAdaptiveDecreases: return "adaptive.decreases";
     case Counter::kAdaptiveHolds: return "adaptive.holds";
+    case Counter::kAdaptiveReclamps: return "adaptive.reclamps";
     case Counter::kL2Lookups: return "sim.l2_lookups";
     case Counter::kL2TotallyHits: return "sim.l2_totally_hits";
     case Counter::kL2PartiallyHits: return "sim.l2_partially_hits";
