@@ -202,6 +202,18 @@ inline Em3dConfig em3d_config(const Scale& s) {
   return c;
 }
 
+/// Late-tight-phase em3d (Em3dConfig::prelude_arity): quiet reduced-arity
+/// prelude passes, then the full-arity pressured pass LAST — the phase
+/// ordering where per-phase Set-Affinity capping can beat the whole-run cap
+/// (the whole-run bound throttles the quiet prelude too; see
+/// docs/method.md "Per-phase Set Affinity").
+inline Em3dConfig em3d_late_config(const Scale& s) {
+  Em3dConfig c = em3d_config(s);
+  c.passes = 2;
+  c.prelude_arity = s.paper ? 16 : 8;
+  return c;
+}
+
 inline McfConfig mcf_config(const Scale& s) {
   if (s.paper) return McfConfig::paper_scale();
   McfConfig c;

@@ -13,8 +13,13 @@
 // Artifacts are byte-identical at any --threads value (slot-indexed
 // aggregation; see docs/orchestrator.md).
 //
-// Flags (all optional; argument-free = CI-scale em3d/mcf/mst ablation):
-//   --workloads=em3d,mcf,mst     comma list (default all three)
+// Flags (all optional; argument-free = CI-scale ablation over
+// em3d,em3d-late,mcf,mst):
+//   --workloads=em3d,em3d-late,mcf,mst  comma list (default all four;
+//                                em3d-late is the late-tight-phase fixture —
+//                                reduced-arity prelude passes, full-arity
+//                                pressured pass last — where per-phase
+//                                capping can relax the quiet prelude)
 //   --controllers=capped,phase-capped  controller axis (default both; also
 //                                accepts static and aimd for context rows)
 //   --distances=1,2,4,8          explicit starting A_SKI list (default:
@@ -66,15 +71,20 @@ int main(int argc, char** argv) {
   const bench::Scale scale = bench::parse_scale(flags);
 
   orchestrate::SweepSpec spec;
-  for (const auto& name : split(flags.get("workloads", "em3d,mcf,mst"), ',')) {
+  for (const auto& name :
+       split(flags.get("workloads", "em3d,em3d-late,mcf,mst"), ',')) {
     if (name == "em3d") {
       spec.workloads.push_back(orchestrate::em3d_spec(bench::em3d_config(scale)));
+    } else if (name == "em3d-late") {
+      spec.workloads.push_back(orchestrate::em3d_spec(
+          bench::em3d_late_config(scale), "em3d-late"));
     } else if (name == "mcf") {
       spec.workloads.push_back(orchestrate::mcf_spec(bench::mcf_config(scale)));
     } else if (name == "mst") {
       spec.workloads.push_back(orchestrate::mst_spec(bench::mst_config(scale)));
     } else {
-      std::cerr << "unknown workload '" << name << "' (em3d|mcf|mst)\n";
+      std::cerr << "unknown workload '" << name
+                << "' (em3d|em3d-late|mcf|mst)\n";
       return 2;
     }
   }

@@ -1,0 +1,171 @@
+// fig_provenance — prefetch-lifecycle fate mix and timeliness vs. distance.
+//
+// The causal companion to fig2: where the distance sweep shows *that* a
+// too-large A_SKI hurts, this figure shows *why*, by running the same
+// (workload × A_SKI × RP) grid with SimConfig::provenance engaged and
+// reporting, per cell, what happened to every helper/hardware prefetch fill:
+// used timely, used late (MSHR-merged), evicted unused, polluting (displaced
+// a reuse-confirmed victim), or still resident unused at run end. The JSONL
+// artifact additionally carries the log2 fill→first-use histogram (the
+// timeliness CDF per distance), the victim reuse-distance histogram, and the
+// per-set pollution heatmap — everything
+// `scripts/check_bench_json.py --provenance` holds to its contracts (fate
+// counts partition the tracked fills; histogram masses match their counters;
+// the used-timely rate does not recover beyond the Set-Affinity bound).
+// Artifacts are byte-identical at any --threads value.
+//
+// Flags (all optional; argument-free = CI-scale em3d/mcf/mst fate sweep):
+//   --workloads=em3d,mcf,mst   comma list (default all three; also accepts
+//                              em3d-late, the late-tight-phase fixture)
+//   --distances=1,2,4,8        explicit A_SKI list (default: auto ladder
+//                              around each plane's Set-Affinity bound)
+//   --rps=0.5                  prefetch ratios (default 0.5)
+//   --jsonl=PATH               JSONL artifact (- = stdout)
+//   --threads=N                0 = hardware concurrency, 1 = serial
+//   --metrics-out= / --trace-out=  telemetry artifacts (prefetch.fate.*
+//                              counters; see docs/telemetry.md)
+//   --scale=paper, --l2=, --assoc=, --line=, --csv  as in every bench binary
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "spf/orchestrate/sweep.hpp"
+#include "spf/orchestrate/workload_specs.hpp"
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Fate-mix table: one row per cell, fates as percentages of tracked fills.
+spf::Table fate_table(const spf::orchestrate::SweepResult& result) {
+  using spf::ProvenanceSummary;
+  spf::Table t({"workload", "L2", "RP", "A_SKI", "vs bound", "status",
+                "tracked", "timely(%)", "late(%)", "evicted(%)",
+                "polluting(%)", "resident(%)", "fill_to_use_mean",
+                "pollution_rate"});
+  for (const auto& c : result.cells) {
+    t.row()
+        .add(c.cell.workload)
+        .add(c.cell.l2.to_string())
+        .add(c.cell.rp, 2)
+        .add(static_cast<std::uint64_t>(c.cell.distance));
+    if (!c.ok) {
+      t.add("-").add("failed: " + c.error);
+      for (int i = 0; i < 8; ++i) t.add("-");
+      continue;
+    }
+    const ProvenanceSummary& p = c.cmp->sp.provenance;
+    const double denom =
+        p.tracked_fills == 0 ? 1.0 : static_cast<double>(p.tracked_fills);
+    const auto pct = [&](std::uint64_t n) {
+      return 100.0 * static_cast<double>(n) / denom;
+    };
+    t.add(c.cell.distance < c.cell.bound_upper ? "within" : "beyond")
+        .add("ok")
+        .add(p.tracked_fills)
+        .add(pct(p.used_timely), 2)
+        .add(pct(p.used_late), 2)
+        .add(pct(p.evicted_unused), 2)
+        .add(pct(p.polluting), 2)
+        .add(pct(p.resident_unused), 2)
+        .add(p.fill_to_use_mean(), 1)
+        .add(c.cmp->sp.l2_lookups == 0
+                 ? 0.0
+                 : static_cast<double>(
+                       c.cmp->sp.pollution.total_pollution()) /
+                       static_cast<double>(c.cmp->sp.l2_lookups),
+             4);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  CliFlags flags(argc, argv);
+  const bench::Scale scale = bench::parse_scale(flags);
+
+  orchestrate::SweepSpec spec;
+  spec.provenance = true;
+  for (const auto& name : split(flags.get("workloads", "em3d,mcf,mst"), ',')) {
+    if (name == "em3d") {
+      spec.workloads.push_back(orchestrate::em3d_spec(bench::em3d_config(scale)));
+    } else if (name == "em3d-late") {
+      spec.workloads.push_back(orchestrate::em3d_spec(
+          bench::em3d_late_config(scale), "em3d-late"));
+    } else if (name == "mcf") {
+      spec.workloads.push_back(orchestrate::mcf_spec(bench::mcf_config(scale)));
+    } else if (name == "mst") {
+      spec.workloads.push_back(orchestrate::mst_spec(bench::mst_config(scale)));
+    } else {
+      std::cerr << "unknown workload '" << name
+                << "' (em3d|em3d-late|mcf|mst)\n";
+      return 2;
+    }
+  }
+  for (const auto& d : split(flags.get("distances", ""), ',')) {
+    std::uint32_t dist = 0;
+    if (!bench::parse_u32(d, dist)) {
+      std::cerr << "bad --distances value '" << d << "' (want unsigned int)\n";
+      return 2;
+    }
+    spec.distances.push_back(dist);
+  }
+  spec.rps.clear();
+  for (const auto& r : split(flags.get("rps", "0.5"), ',')) {
+    double rp = 0.0;
+    if (!bench::parse_double(r, rp)) {
+      std::cerr << "bad --rps value '" << r << "' (want number)\n";
+      return 2;
+    }
+    spec.rps.push_back(rp);
+  }
+  spec.geometries = {scale.l2};
+  const std::string jsonl_path = flags.get("jsonl", "");
+  // Constructed before the unknown-flag check: the sink consumes
+  // --metrics-out=/--trace-out= and installs the telemetry session the
+  // prefetch.fate.* counters land in.
+  bench::TelemetrySink telemetry_sink(flags, scale, "fig_provenance");
+  bench::fail_on_unknown_flags(flags);
+
+  if (const std::string problem = spec.validate(); !problem.empty()) {
+    std::cerr << "invalid sweep: " << problem << "\n";
+    return 2;
+  }
+
+  // Open the artifact before the (potentially long) sweep so a bad path
+  // fails in milliseconds, not after the last cell.
+  std::ofstream jsonl_file;
+  if (!jsonl_path.empty() && jsonl_path != "-") {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::cerr << "cannot open " << jsonl_path << "\n";
+      return 1;
+    }
+  }
+
+  orchestrate::SweepOptions opts;
+  opts.threads = scale.threads;
+  opts.progress = orchestrate::stderr_progress("  cells");
+  const orchestrate::SweepResult result = orchestrate::run_sweep(spec, opts);
+
+  if (jsonl_path == "-") {
+    result.write_jsonl(std::cout);
+  } else {
+    if (jsonl_file.is_open()) result.write_jsonl(jsonl_file);
+    std::cout << "== fig_provenance: " << result.cells.size() << " cells ("
+              << result.failed_count() << " failed) ==\n\n";
+    bench::emit(fate_table(result), scale);
+  }
+  return result.failed_count() == 0 ? 0 : 1;
+}

@@ -35,7 +35,12 @@
 //                  at 0 — a negative overhead is measurement noise, not a
 //                  speedup), so one scheduling hiccup on either side can't
 //                  push the reported number negative or blow it up, and all
-//                  sweeps' artifacts are cross-checked identical.
+//                  sweeps' artifacts are cross-checked identical;
+//   provenance   — the same grid replayed memo-warm with
+//                  SimConfig::provenance off vs on (interleaved per rep,
+//                  median-of-ratios, clamped at 0); lifecycle tracking is an
+//                  observer, so both sides' tables are cross-checked
+//                  byte-identical to the baseline sweep's.
 //
 // Flags: --quick (CI smoke: small inputs, one reps), --out=PATH (default
 // BENCH_perf.json; "-" or "" = skip the artifact), --reps=N,
@@ -355,6 +360,52 @@ int main(int argc, char** argv) {
     telemetry_overhead_pct = std::max(0.0, 100.0 * (median - 1.0));
   }
 
+  // ---- provenance overhead: the same grid, memo-warm, off vs on ----------
+  // Same protocol as the telemetry A/B: interleaved per rep, median of
+  // per-rep on/off ratios, clamped at 0. The provenance-on table/CSV must
+  // stay byte-identical to the baseline sweep's — lifecycle tracking is an
+  // observer, it rides only in the JSONL suffix (docs/provenance.md) — and
+  // the off side re-checks the baseline so a nondeterminism bug can't hide
+  // behind the A/B.
+  orchestrate::SweepSpec prov_spec = spec;
+  prov_spec.provenance = true;
+  double sweep_prov_off_sec = 0.0;
+  double sweep_prov_on_sec = 0.0;
+  bool prov_tables_identical = true;
+  std::vector<double> prov_ratios;
+  prov_ratios.reserve(reps);
+  for (unsigned r = 0; r < reps; ++r) {
+    auto t_off = Clock::now();
+    const orchestrate::SweepResult off = orchestrate::run_sweep(spec, opts);
+    const double off_sec = seconds_since(t_off);
+    auto t_on = Clock::now();
+    const orchestrate::SweepResult on = orchestrate::run_sweep(prov_spec, opts);
+    const double on_sec = seconds_since(t_on);
+    if (off.failed_count() != 0 || on.failed_count() != 0) {
+      std::cerr << "perf_smoke: provenance A/B sweep cells failed\n";
+      return 1;
+    }
+    if (off.to_csv() != sweep_csv || on.to_csv() != sweep_csv) {
+      prov_tables_identical = false;
+    }
+    if (off_sec > 0) prov_ratios.push_back(on_sec / off_sec);
+    if (r == 0 || off_sec < sweep_prov_off_sec) sweep_prov_off_sec = off_sec;
+    if (r == 0 || on_sec < sweep_prov_on_sec) sweep_prov_on_sec = on_sec;
+  }
+  if (!prov_tables_identical) {
+    std::cerr << "perf_smoke: sweep artifact changed under provenance\n";
+    return 1;
+  }
+  double provenance_overhead_pct = 0.0;
+  if (!prov_ratios.empty()) {
+    std::sort(prov_ratios.begin(), prov_ratios.end());
+    const std::size_t n = prov_ratios.size();
+    const double median =
+        n % 2 == 1 ? prov_ratios[n / 2]
+                   : 0.5 * (prov_ratios[n / 2 - 1] + prov_ratios[n / 2]);
+    provenance_overhead_pct = std::max(0.0, 100.0 * (median - 1.0));
+  }
+
   const double materialize_ops_s =
       materialize_sec > 0 ? static_cast<double>(ir_ops) / materialize_sec : 0;
   const double replay_acc_s =
@@ -417,6 +468,10 @@ int main(int argc, char** argv) {
       .add("sweep_telemetry_on_sec", sweep_on_sec)
       .add("telemetry_overhead_pct", telemetry_overhead_pct)
       .add("telemetry_compiled", SPF_TELEMETRY != 0)
+      .add("sweep_provenance_off_sec", sweep_prov_off_sec)
+      .add("sweep_provenance_on_sec", sweep_prov_on_sec)
+      .add("provenance_overhead_pct", provenance_overhead_pct)
+      .add("provenance_tables_identical", prov_tables_identical)
       .add("replay_checksum", replay_checksum)
       .add("refine_checksum", refine_checksum);
 

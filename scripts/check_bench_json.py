@@ -3,6 +3,7 @@
 
 Usage: check_bench_json.py BENCH_perf.json [BENCH_perf.json ...]
        check_bench_json.py --sweep sweep.jsonl [sweep.jsonl ...]
+       check_bench_json.py --provenance prov.jsonl [prov.jsonl ...]
 
 With --sweep, each file is a JSONL artifact from spf_sweep / fig_adaptive /
 fig_phase_bound (one cell per line) and the per-line contracts are:
@@ -23,7 +24,29 @@ fig_phase_bound (one cell per line) and the per-line contracts are:
     under the earlier event's cap;
   * failed cells carry an `error` and are otherwise exempt.
 
-Without --sweep, each file is a BENCH_perf.json and the checks, per file:
+With --provenance, each file is a JSONL artifact from fig_provenance (or any
+sweep run with SweepSpec::provenance set) and, on top of the --sweep
+contracts, every successful cell must satisfy the lifecycle accounting
+(docs/provenance.md):
+  * the five fate counters partition the tracked fills exactly:
+    used_timely + used_late + evicted_unused + polluting + resident_unused
+    == prov_tracked_fills, and helper + hardware fills == tracked fills;
+  * histogram masses equal their counters: sum(prov_fill_to_use_hist) ==
+    prov_used_timely, sum(prov_victim_reuse_hist) == prov_reuse_confirms,
+    sum(prov_set_heatmap) == prov_polluted_sets — every classified event
+    landed in exactly one bucket;
+  * all three histograms have exactly 32 non-negative integer buckets;
+  * prov_timely_rate is the quotient it claims to be (used_timely /
+    tracked_fills, to float tolerance) and lies in [0, 1];
+  * the paper's causal story holds on the grid: within each
+    (workload, l2, helper, rp, static-controller) group, walking
+    beyond-bound cells in ascending A_SKI order, the used-timely rate
+    never recovers more than 3 points above its running minimum —
+    pushing the distance past the Set-Affinity bound must not win
+    timeliness back.
+
+Without --sweep/--provenance, each file is a BENCH_perf.json and the
+checks, per file:
   * the file parses as a single JSON object (the JsonObject line format);
   * every key perf_smoke promises is present with the right JSON type —
     a rename or dropped field in the emitter fails here, not in a
@@ -48,6 +71,10 @@ Without --sweep, each file is a BENCH_perf.json and the checks, per file:
     compiled in (the documented contract is < 2 %; 25 leaves headroom
     for loaded CI hosts while still catching a pathological regression);
     ~0 when compiled out;
+  * `provenance_overhead_pct` (the same interleaved off/on A/B, with
+    SimConfig::provenance toggled) is >= 0 and < 25 — the documented
+    contract is < 5 %, and the off/on sweeps must additionally have
+    produced byte-identical tables (`provenance_tables_identical`);
   * the trace memo hit rate is a valid probability;
   * `replay_checksum` and `refine_checksum` are present and non-zero,
     so the runs that produced the timings actually simulated work.
@@ -106,6 +133,10 @@ REQUIRED = {
     "sweep_telemetry_on_sec": NUMBER,
     "telemetry_overhead_pct": NUMBER,
     "telemetry_compiled": bool,
+    "sweep_provenance_off_sec": NUMBER,
+    "sweep_provenance_on_sec": NUMBER,
+    "provenance_overhead_pct": NUMBER,
+    "provenance_tables_identical": bool,
     "replay_checksum": int,
     "refine_checksum": int,
 }
@@ -136,6 +167,8 @@ STRICTLY_POSITIVE = [
     "sweep_fused_speedup",
     "sweep_telemetry_off_sec",
     "sweep_telemetry_on_sec",
+    "sweep_provenance_off_sec",
+    "sweep_provenance_on_sec",
 ]
 
 
@@ -228,6 +261,22 @@ def check_file(path):
             )
     elif pct != 0:
         ok = fail(path, f"telemetry compiled out but overhead_pct = {pct}")
+
+    ppct = doc["provenance_overhead_pct"]
+    if ppct < 0:
+        ok = fail(path, f"provenance_overhead_pct is negative: {ppct}")
+    if ppct >= 25:
+        ok = fail(
+            path,
+            f"provenance_overhead_pct = {ppct} — the <5% contract has "
+            "regressed far beyond measurement noise",
+        )
+    if not doc["provenance_tables_identical"]:
+        ok = fail(
+            path,
+            "provenance-on sweep produced a different table than the "
+            "provenance-off sweep — the observer must not perturb metrics",
+        )
 
     rate = doc["sweep_trace_memo_hit_rate"]
     if not 0.0 <= rate <= 1.0:
@@ -380,6 +429,153 @@ def check_sweep_line(path, lineno, doc):
     return ok
 
 
+PROV_BUCKETS = 32
+PROV_KEYS = (
+    "prov_tracked_fills", "prov_helper_fills", "prov_hardware_fills",
+    "prov_used_timely", "prov_used_late", "prov_evicted_unused",
+    "prov_polluting", "prov_resident_unused", "prov_reuse_confirms",
+    "prov_late_confirms", "prov_polluted_sets", "prov_timely_rate",
+    "prov_fill_to_use_mean", "prov_fill_to_use_hist",
+    "prov_victim_reuse_hist", "prov_set_heatmap",
+)
+# Beyond the Set-Affinity bound the used-timely rate may wobble with grid
+# noise but must never meaningfully recover; 2 points of absolute rate is
+# comfortably above observed jitter (mst wobbles ~2 points at the bound
+# edge before collapsing) and far below any real recovery.
+PROV_TIMELY_TOLERANCE = 0.03
+
+
+def _check_prov_hist(path, lineno, doc, key):
+    hist = doc[key]
+    if not isinstance(hist, list) or len(hist) != PROV_BUCKETS:
+        return None, _sweep_fail(
+            path, lineno,
+            f"{key} must be a {PROV_BUCKETS}-bucket list, got "
+            f"{type(hist).__name__} of len "
+            f"{len(hist) if isinstance(hist, list) else '?'}")
+    for i, v in enumerate(hist):
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return None, _sweep_fail(
+                path, lineno, f"{key}[{i}] must be a non-negative int, "
+                f"got {v!r}")
+    return sum(hist), True
+
+
+def check_provenance_line(path, lineno, doc):
+    """Per-cell lifecycle accounting; assumes check_sweep_line passed."""
+    missing = [k for k in PROV_KEYS if k not in doc]
+    if missing:
+        return _sweep_fail(
+            path, lineno,
+            f"ok cell missing provenance keys: {sorted(missing)} — was the "
+            "sweep run with SweepSpec::provenance set?")
+    ok = True
+    tracked = doc["prov_tracked_fills"]
+    fates = (doc["prov_used_timely"] + doc["prov_used_late"]
+             + doc["prov_evicted_unused"] + doc["prov_polluting"]
+             + doc["prov_resident_unused"])
+    if fates != tracked:
+        ok = _sweep_fail(
+            path, lineno,
+            f"fate counts sum to {fates}, not prov_tracked_fills = "
+            f"{tracked} — the five fates must partition the tracked fills")
+    origins = doc["prov_helper_fills"] + doc["prov_hardware_fills"]
+    if origins != tracked:
+        ok = _sweep_fail(
+            path, lineno,
+            f"helper + hardware fills = {origins} != prov_tracked_fills = "
+            f"{tracked}")
+
+    for key, counter in (
+            ("prov_fill_to_use_hist", "prov_used_timely"),
+            ("prov_victim_reuse_hist", "prov_reuse_confirms"),
+            ("prov_set_heatmap", "prov_polluted_sets")):
+        mass, hist_ok = _check_prov_hist(path, lineno, doc, key)
+        if not hist_ok:
+            ok = False
+            continue
+        if mass != doc[counter]:
+            ok = _sweep_fail(
+                path, lineno,
+                f"sum({key}) = {mass} != {counter} = {doc[counter]} — "
+                "every classified event lands in exactly one bucket")
+
+    rate = doc["prov_timely_rate"]
+    if not 0.0 <= rate <= 1.0:
+        ok = _sweep_fail(path, lineno, f"prov_timely_rate out of [0,1]: {rate}")
+    expected = doc["prov_used_timely"] / tracked if tracked else 0.0
+    if abs(rate - expected) > 1e-9:
+        ok = _sweep_fail(
+            path, lineno,
+            f"prov_timely_rate = {rate} but used_timely/tracked = {expected}")
+    return ok
+
+
+def _check_prov_timeliness_decay(path, groups):
+    """Beyond-bound cells must not win the timely rate back (per group)."""
+    ok = True
+    for key, cells in sorted(groups.items()):
+        cells.sort(key=lambda c: c[1])  # ascending A_SKI
+        running_min = None
+        for lineno, distance, rate in cells:
+            if running_min is not None and \
+                    rate > running_min + PROV_TIMELY_TOLERANCE:
+                ok = _sweep_fail(
+                    path, lineno,
+                    f"group {key}: beyond-bound A_SKI {distance} has "
+                    f"timely rate {rate:.4f}, recovering past the running "
+                    f"minimum {running_min:.4f} + {PROV_TIMELY_TOLERANCE} — "
+                    "distance beyond the Set-Affinity bound must not "
+                    "restore timeliness")
+            running_min = rate if running_min is None \
+                else min(running_min, rate)
+    return ok
+
+
+def check_provenance_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(path, f"not readable: {e}")
+    cells = 0
+    beyond = 0
+    ok = True
+    # (workload, l2, helper, rp) -> [(lineno, distance, timely_rate)] for
+    # static-controller cells beyond their plane's bound.
+    groups = {}
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            ok = _sweep_fail(path, lineno, f"not valid JSON: {e}")
+            continue
+        if not isinstance(doc, dict):
+            ok = _sweep_fail(path, lineno, "line is not a JSON object")
+            continue
+        cells += 1
+        line_ok = check_sweep_line(path, lineno, doc)
+        ok = line_ok and ok
+        if not line_ok or not doc.get("ok"):
+            continue
+        ok = check_provenance_line(path, lineno, doc) and ok
+        if doc.get("controller") == "static" and not doc.get(
+                "within_bound", True):
+            beyond += 1
+            key = (doc.get("workload"), doc.get("l2"), doc.get("helper"),
+                   doc.get("rp"))
+            groups.setdefault(key, []).append(
+                (lineno, doc.get("distance", 0), doc["prov_timely_rate"]))
+    ok = _check_prov_timeliness_decay(path, groups) and ok
+    if cells == 0:
+        ok = fail(path, "no cells — the artifact is empty")
+    if ok:
+        print(f"{path}: OK ({cells} cells, {beyond} beyond-bound)")
+    return ok
+
+
 def check_sweep_file(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -413,14 +609,16 @@ def check_sweep_file(path):
 
 def main(argv):
     args = argv[1:]
-    sweep = False
+    check = check_file
     if args and args[0] == "--sweep":
-        sweep = True
+        check = check_sweep_file
+        args = args[1:]
+    elif args and args[0] == "--provenance":
+        check = check_provenance_file
         args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    check = check_sweep_file if sweep else check_file
     all_ok = True
     for path in args:
         all_ok = check(path) and all_ok

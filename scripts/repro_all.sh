@@ -63,6 +63,18 @@ with open("BENCH_history.jsonl", "a") as f:
     f.write(json.dumps(rec, sort_keys=True) + "\n")
 print("appended BENCH_perf.json -> BENCH_history.jsonl")
 EOF
+  # Guard the trendline: flag key throughput metrics that dropped >15% below
+  # the trailing median of prior full-scale runs. A regression (exit 2) is a
+  # loud warning, not a failure — a loaded host can legitimately dent a run;
+  # a structural error (exit 1) in the history still aborts.
+  python3 scripts/check_perf_history.py BENCH_history.jsonl || {
+    status=$?
+    if [ "$status" -eq 2 ]; then
+      echo "WARNING: perf history regression flagged (see above)" >&2
+    else
+      exit "$status"
+    fi
+  }
 fi
 
 # The full cross-product in one orchestrated run: every workload × a ladder
@@ -127,10 +139,31 @@ if [ -f fig_phase_bound.jsonl ] && command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_bench_json.py --sweep fig_phase_bound.jsonl
 fi
 
+# Prefetch-lifecycle provenance: the fate-mix and timeliness figure (what
+# happened to every helper/hardware prefetch fill across the distance
+# ladder), JSONL carrying the per-cell fate counts, fill→first-use and
+# victim reuse-distance histograms, and per-set pollution heatmaps, held to
+# the lifecycle accounting contracts (docs/provenance.md).
+{
+  echo "=============================================================="
+  echo "== build/bench/fig_provenance --threads=$THREADS"
+  echo "=============================================================="
+  build/bench/fig_provenance --threads="$THREADS" \
+    --jsonl=fig_provenance.jsonl --metrics-out=fig_provenance_metrics.jsonl \
+    --trace-out=fig_provenance_trace.json
+} 2>&1 | tee -a bench_output.txt
+
+if [ -f fig_provenance_trace.json ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace_json.py fig_provenance_trace.json
+fi
+if [ -f fig_provenance.jsonl ] && command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_bench_json.py --provenance fig_provenance.jsonl
+fi
+
 if [[ "${1:-}" == "--paper" ]]; then
   {
     for b in table2_benchmarks fig2_em3d_sweep fig4_em3d_behavior fig_adaptive \
-             fig_phase_bound; do
+             fig_phase_bound fig_provenance; do
       echo "=============================================================="
       echo "== build/bench/$b --scale=paper --threads=$THREADS"
       echo "=============================================================="

@@ -33,7 +33,7 @@ void Cache::reset_to(const CacheGeometry& geometry, ReplacementKind policy,
 }
 
 std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId core,
-                                    Cycle now) {
+                                    Cycle now, std::uint32_t* slot_out) {
   const std::uint64_t set = geometry_.set_of_line(line);
   const std::size_t base = set * geometry_.ways();
 
@@ -41,6 +41,9 @@ std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId cor
   // recency like a hit would.
   if (const std::uint32_t present = find_way(set, line); present != kNoWay) {
     policy_.on_hit(set, present);
+    if (slot_out != nullptr) {
+      *slot_out = static_cast<std::uint32_t>(base + present);
+    }
     // A demand fill upgrades a prefetch-origin line: the processor now
     // genuinely wants it. A prefetch completing onto a demand-filled line
     // must not *downgrade* provenance.
@@ -50,7 +53,7 @@ std::optional<Eviction> Cache::fill(LineAddr line, FillOrigin origin, CoreId cor
     return std::nullopt;
   }
 
-  return fill_absent(line, origin, core, now);
+  return fill_absent(line, origin, core, now, slot_out);
 }
 
 bool Cache::mark_dirty(LineAddr line) {

@@ -83,6 +83,10 @@ struct Eviction {
   LineAddr replaced_by = 0;
   FillOrigin replaced_by_origin = FillOrigin::kDemand;
   Cycle when = 0;
+  /// Row-major (set * ways + way) slot the victim occupied — the same slot
+  /// the displacing line installs into. Provenance resolves the victim's
+  /// record and links the displacing fill through this index.
+  std::uint32_t slot = 0;
 };
 
 /// Aggregate counters. Hit/miss here are *state* hits (line valid), i.e. the
@@ -105,6 +109,10 @@ struct CacheStats {
 
 class Cache {
  public:
+  /// Sentinel for "no (set, way) slot" in the slot-reporting interfaces
+  /// below. Slots index the row-major lines_ array: set * ways + way.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
   /// `arena`, when non-null, backs the line/tag/validity arrays; it must
   /// outlive the cache (and every cache moved from it). Null keeps the
   /// global heap.
@@ -143,7 +151,20 @@ class Cache {
   /// Reference the line. On a hit: updates replacement state, marks the line
   /// used (for demand kinds), sets dirty on writes, and returns true. On a
   /// miss: counts it and returns false (caller decides whether/when to fill).
-  bool access(LineAddr line, AccessKind kind, Cycle /*now*/) {
+  SPF_ALWAYS_INLINE bool access(LineAddr line, AccessKind kind, Cycle now) {
+    std::uint32_t unused;
+    return access(line, kind, now, unused);
+  }
+
+  /// access() that additionally reports the line's slot when this reference
+  /// was the *first demand use of a prefetch-origin line* (kNoSlot
+  /// otherwise) — read from the line's metadata in the same tag scan, before
+  /// the hit marks it used. The provenance hot path keys its slot-indexed
+  /// records off this instead of a probe()+access() pair, which would scan
+  /// the set's tags twice per demand lookup.
+  SPF_ALWAYS_INLINE bool access(LineAddr line, AccessKind kind, Cycle /*now*/,
+                                std::uint32_t& first_use_slot) {
+    first_use_slot = kNoSlot;
     ++stats_.lookups;
     const std::uint64_t set = geometry_.set_of_line(line);
     const std::uint32_t way = find_way(set, line);
@@ -153,8 +174,14 @@ class Cache {
     }
     ++stats_.hits;
     policy_.on_hit(set, way);
-    CacheLine& hit = lines_[set * geometry_.ways() + way];
-    if (kind != AccessKind::kPrefetch) hit.used_since_fill = true;
+    const std::size_t slot = set * geometry_.ways() + way;
+    CacheLine& hit = lines_[slot];
+    if (kind != AccessKind::kPrefetch) {
+      if (!hit.used_since_fill && hit.origin != FillOrigin::kDemand) {
+        first_use_slot = static_cast<std::uint32_t>(slot);
+      }
+      hit.used_since_fill = true;
+    }
     if (kind == AccessKind::kWrite) hit.dirty = true;
     return true;
   }
@@ -162,16 +189,19 @@ class Cache {
   /// Install `line`. If the set is full, evicts a victim and returns its
   /// metadata. Filling a line that is already present just refreshes its
   /// metadata (this happens when a prefetch completes after a demand fill
-  /// already installed the line).
+  /// already installed the line). `slot_out`, when non-null, receives the
+  /// slot the line occupies after the call (provenance keys its records by
+  /// slot).
   std::optional<Eviction> fill(LineAddr line, FillOrigin origin, CoreId core,
-                               Cycle now);
+                               Cycle now, std::uint32_t* slot_out = nullptr);
 
   /// fill() minus the already-present probe, for callers that have just
   /// observed the miss with no intervening fill (the simulator's private-L1
   /// refill). Precondition: `line` is not present. Inline: this is the
   /// simulator's per-L1-miss refill path.
   std::optional<Eviction> fill_absent(LineAddr line, FillOrigin origin,
-                                      CoreId core, Cycle now) {
+                                      CoreId core, Cycle now,
+                                      std::uint32_t* slot_out = nullptr) {
     const std::uint64_t set = geometry_.set_of_line(line);
     const std::size_t base = set * geometry_.ways();
     SPF_DEBUG_ASSERT(find_way(set, line) == kNoWay,
@@ -198,9 +228,11 @@ class Cache {
         if (victim.origin == FillOrigin::kHelper) ++stats_.evicted_unused_helper;
         if (victim.origin == FillOrigin::kHardware) ++stats_.evicted_unused_hw;
       }
-      evicted = Eviction{victim, line, origin, now};
+      evicted = Eviction{victim, line, origin, now,
+                         static_cast<std::uint32_t>(base + way)};
     }
 
+    if (slot_out != nullptr) *slot_out = static_cast<std::uint32_t>(base + way);
     lines_[base + way] = CacheLine{
         .line = line,
         .valid = true,

@@ -32,3 +32,12 @@ namespace spf {
 #endif
 
 #define SPF_UNREACHABLE(msg) ::spf::assert_fail("unreachable", __FILE__, __LINE__, (msg))
+
+// Force-inline for per-access hot-path functions the optimizer's size
+// heuristics would otherwise outline (profiled: letting Cache::access become
+// a call costs double-digit percent on the simulator's replay loop).
+#if defined(__GNUC__) || defined(__clang__)
+#define SPF_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define SPF_ALWAYS_INLINE inline
+#endif

@@ -137,6 +137,7 @@ void accumulate(SpRunSummary& agg, const SpRunSummary& run) {
   agg.pollution.prefetch_caused_evictions +=
       run.pollution.prefetch_caused_evictions;
   agg.pollution.total_evictions += run.pollution.total_evictions;
+  agg.provenance.add(run.provenance);
 }
 
 }  // namespace
@@ -245,6 +246,29 @@ AdaptiveRunResult ExperimentContext::run_adaptive(
                      synthesized * sizeof(TraceRecord));
 
     const SpRunSummary summary = SpRunSummary::from(sim);
+    if (summary.provenance.enabled && telemetry::enabled()) {
+      // Per-interval mean fill->first-use distance (demand L2 lookups), the
+      // timeliness companion of the adaptive.distance track. Warm runs report
+      // cumulative totals, so difference against the previous interval; a
+      // resident fill can migrate fate categories between warm snapshots, so
+      // guard against non-monotone deltas instead of asserting them.
+      const ProvenanceSummary& cur = summary.provenance;
+      const ProvenanceSummary& prev = prev_cumulative.provenance;
+      const bool cumulative = adaptive.warm_intervals;
+      const std::uint64_t timely_delta =
+          cumulative ? (cur.used_timely > prev.used_timely
+                            ? cur.used_timely - prev.used_timely
+                            : 0)
+                     : cur.used_timely;
+      const std::uint64_t total_delta =
+          cumulative ? (cur.fill_to_use_total > prev.fill_to_use_total
+                            ? cur.fill_to_use_total - prev.fill_to_use_total
+                            : 0)
+                     : cur.fill_to_use_total;
+      if (timely_delta > 0) {
+        telemetry::sample("prefetch.fill_to_use", total_delta / timely_delta);
+      }
+    }
     IntervalFeedback feedback;
     if (adaptive.warm_intervals) {
       // Warm runs report cumulative totals; the controller wants this

@@ -25,6 +25,7 @@ SpRunSummary SpRunSummary::from(const SimResult& result) {
   s.memory_requests = result.memory.requests;
   s.helper_finish =
       result.per_core.size() > 1 ? result.per_core[1].finish_time : 0;
+  s.provenance = result.provenance;
   return s;
 }
 

@@ -114,6 +114,13 @@ struct SweepSpec {
   /// kAdaptiveCapped additionally clamps max_distance to the cell's
   /// Set-Affinity bound.
   AdaptiveConfig adaptive{};
+  /// Track prefetch-lifecycle provenance (SimConfig::provenance) in every
+  /// baseline and cell run. Each ok cell's summaries then carry a
+  /// ProvenanceSummary and the JSONL rows grow `prov_*` fate counts and
+  /// histograms (appended after all other fields; rows are byte-identical to
+  /// a provenance-off sweep up to that suffix). Observation-only: tables,
+  /// CSV, and every simulation metric are byte-identical on or off.
+  bool provenance = false;
   /// Windowing/hysteresis knobs for the per-plane phase analysis. Every
   /// plane runs the phase-incremental analyzer (its whole-run result is the
   /// plane bound, bit-identical to the legacy analysis; the phase partition

@@ -177,6 +177,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         SpExperimentConfig cfg;
         cfg.sim.l2 = spec.geometries[g];
         cfg.sim.streaming_cores = opts.streaming_cores;
+        cfg.sim.provenance = spec.provenance;
         cfg.baseline_hw_prefetch = spec.baseline_hw_prefetch;
         plane.baseline = contexts.acquire()->run_original(src.trace, cfg);
       });
@@ -241,6 +242,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
         SpExperimentConfig cfg;
         cfg.sim.l2 = cell.l2;
         cfg.sim.streaming_cores = opts.streaming_cores;
+        cfg.sim.provenance = spec.provenance;
         cfg.helper.use_prefetch_instructions =
             cell.helper == HelperKind::kPrefetchInstruction;
         cfg.helper.helper_compute_gap = spec.helper_compute_gap;
@@ -429,6 +431,37 @@ void SweepResult::write_jsonl(std::ostream& out) const {
             .add_raw("phase_bounds", caps)
             .add_raw("reclamps", reclamps);
       }
+    }
+    if (c.cmp->sp.provenance.enabled) {
+      // Appended after every other field: a provenance-on row is the
+      // provenance-off row plus this suffix, which is what the off/on
+      // differential test pins.
+      const ProvenanceSummary& p = c.cmp->sp.provenance;
+      const auto hist = [](const auto& buckets) {
+        std::string arr = "[";
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+          if (i != 0) arr += ",";
+          arr += std::to_string(buckets[i]);
+        }
+        arr += "]";
+        return arr;
+      };
+      obj.add("prov_tracked_fills", p.tracked_fills)
+          .add("prov_helper_fills", p.helper_fills)
+          .add("prov_hardware_fills", p.hardware_fills)
+          .add("prov_used_timely", p.used_timely)
+          .add("prov_used_late", p.used_late)
+          .add("prov_evicted_unused", p.evicted_unused)
+          .add("prov_polluting", p.polluting)
+          .add("prov_resident_unused", p.resident_unused)
+          .add("prov_reuse_confirms", p.reuse_confirms)
+          .add("prov_late_confirms", p.late_pollution_confirms)
+          .add("prov_polluted_sets", p.polluted_sets)
+          .add("prov_timely_rate", p.timely_rate())
+          .add("prov_fill_to_use_mean", p.fill_to_use_mean())
+          .add_raw("prov_fill_to_use_hist", hist(p.fill_to_use))
+          .add_raw("prov_victim_reuse_hist", hist(p.victim_reuse))
+          .add_raw("prov_set_heatmap", hist(p.set_heatmap));
     }
     out << obj;
   }

@@ -30,7 +30,8 @@ std::string em3d_key(const Em3dConfig& c) {
   std::ostringstream key;
   key << "em3d/nodes=" << c.nodes << "/arity=" << c.arity
       << "/passes=" << c.passes << "/compute=" << c.compute_cycles_per_dep
-      << "/seed=" << c.seed << "/shuffle=" << c.shuffle_placement;
+      << "/seed=" << c.seed << "/shuffle=" << c.shuffle_placement
+      << "/prelude=" << c.prelude_arity;
   return key.str();
 }
 

@@ -28,6 +28,11 @@ struct SimConfig {
   bool hw_prefetch = true;
   /// Capacity of the pollution tracker's eviction shadow table.
   std::uint32_t shadow_capacity = 8192;
+  /// Track per-line prefetch-fill provenance (fate attribution, timeliness
+  /// and victim reuse-distance histograms — see spf/sim/provenance.hpp).
+  /// Observation-only: on or off, simulation outcomes are bit-identical; off
+  /// (the default) skips the tracker entirely so hot paths pay one branch.
+  bool provenance = false;
   /// Seed for the Random replacement policy (unused by deterministic ones).
   std::uint64_t seed = 0x5eed;
   /// When nonzero, snapshot the shared L2's occupancy composition roughly

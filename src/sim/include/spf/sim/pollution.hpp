@@ -46,6 +46,18 @@ struct PollutionStats {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Auxiliary payload a companion observer can attach to a shadow entry. The
+/// table moves it with the entry and hands it back on erase, but never reads
+/// it — the fields mean whatever the attaching tracker says they mean (today:
+/// ProvenanceTracker's displacement metadata; see docs/provenance.md). Riding
+/// on the pollution shadow's hash work keeps the companion's per-eviction
+/// cost at zero extra probes.
+struct ShadowAux {
+  std::uint32_t evict_lookup = 0;
+  std::uint32_t evictor_gen = 0;
+  std::uint32_t evictor_slot = 0;
+};
+
 /// Bounded open-addressing map from shadowed line to the origin of the fill
 /// that evicted it. Linear probing with backward-shift deletion (no
 /// tombstones), sized to at most half-full for the tracker's fixed capacity,
@@ -59,13 +71,22 @@ class ShadowTable {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-  /// As-if-freshly-constructed with `capacity`, reusing slot storage.
+  /// As-if-freshly-constructed with `capacity`, reusing slot storage. Aux
+  /// storage is dropped; re-enable after reset if needed.
   void reset(std::uint32_t capacity);
 
-  /// Insert `line`, overwriting the stored origin if already present.
-  void insert_or_assign(LineAddr line, FillOrigin origin);
-  /// Remove `line` if present; returns true when it was.
-  bool erase(LineAddr line);
+  /// Allocate the per-slot aux array. Until enabled (the default), aux
+  /// pointers passed to insert/erase are ignored and the table does no extra
+  /// work beyond one predictable branch per operation.
+  void enable_aux();
+
+  /// Insert `line`, overwriting the stored origin if already present. With
+  /// aux enabled and `aux` non-null, the payload is stored alongside.
+  void insert_or_assign(LineAddr line, FillOrigin origin,
+                        const ShadowAux* aux = nullptr);
+  /// Remove `line` if present; returns true when it was. With aux enabled
+  /// and `aux_out` non-null, the entry's payload is copied out first.
+  bool erase(LineAddr line, ShadowAux* aux_out = nullptr);
 
  private:
   struct Slot {
@@ -83,6 +104,8 @@ class ShadowTable {
   std::vector<Slot> slots_;
   std::size_t mask_;
   std::size_t size_ = 0;
+  /// Slot-parallel payloads; empty (and cost-free) unless enable_aux() ran.
+  std::vector<ShadowAux> aux_;
 };
 
 class PollutionTracker {
@@ -96,20 +119,37 @@ class PollutionTracker {
   /// (ExperimentContext reuse seam).
   void reset(std::uint32_t shadow_capacity, const CacheGeometry& geometry);
 
-  /// Feed every L2 eviction here.
-  void on_eviction(const Eviction& ev);
+  /// Let a companion tracker ride the shadow: entries inserted via the
+  /// aux-carrying on_eviction overload keep their payload until the erase
+  /// that removes them hands it back through on_demand_miss.
+  void enable_shadow_aux();
+
+  /// Feed every L2 eviction here. The two-argument overload attaches `aux`
+  /// to the shadow entry when the eviction shadows its victim (requires
+  /// enable_shadow_aux()); classification is identical in both.
+  void on_eviction(const Eviction& ev) { on_eviction_impl(ev, nullptr); }
+  void on_eviction(const Eviction& ev, const ShadowAux& aux) {
+    on_eviction_impl(ev, &aux);
+  }
 
   /// Feed every *demand* L2 totally-miss here. Returns true when the miss is
   /// attributed to case-1 pollution (the line was recently displaced by a
-  /// prefetch fill).
-  bool on_demand_miss(LineAddr line);
+  /// prefetch fill); `aux_out` then receives the confirmed entry's payload.
+  bool on_demand_miss(LineAddr line, ShadowAux* aux_out = nullptr);
 
   [[nodiscard]] const PollutionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t shadow_size() const noexcept { return shadow_.size(); }
 
   /// Pollution events attributed to `set`.
   [[nodiscard]] std::uint64_t set_pollution(std::uint64_t set) const;
-  /// The n worst-hit sets, ordered by descending event count.
+  /// set -> pollution events, indexed by set number (the provenance
+  /// heatmap snapshots this directly).
+  [[nodiscard]] const std::vector<std::uint64_t>& per_set() const noexcept {
+    return per_set_;
+  }
+  /// The n worst-hit sets, ordered by descending event count; equal counts
+  /// break ties by ascending set index, so heatmap artifacts are stable
+  /// across platforms and standard-library sort implementations.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
   top_polluted_sets(std::size_t n) const;
   /// Number of sets with at least one pollution event.
@@ -117,6 +157,7 @@ class PollutionTracker {
 
  private:
   void attribute(LineAddr line);
+  void on_eviction_impl(const Eviction& ev, const ShadowAux* aux);
 
   CacheGeometry geometry_;
   PollutionStats stats_;

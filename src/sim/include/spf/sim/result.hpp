@@ -12,6 +12,7 @@
 #include "spf/mshr/mshr.hpp"
 #include "spf/sim/occupancy.hpp"
 #include "spf/sim/pollution.hpp"
+#include "spf/sim/provenance.hpp"
 
 namespace spf {
 
@@ -61,6 +62,9 @@ struct SimResult {
   /// (set index, event count) in descending order.
   std::uint64_t polluted_set_count = 0;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> top_polluted_sets;
+  /// Prefetch-lifecycle fate attribution (enabled == false unless
+  /// SimConfig::provenance was set for the run).
+  ProvenanceSummary provenance;
   /// Time at which the last core finished.
   Cycle makespan = 0;
 

@@ -35,25 +35,36 @@ void ShadowTable::reset(std::uint32_t capacity) {
   slots_.assign(shadow_slot_count(capacity), Slot{});
   mask_ = slots_.size() - 1;
   size_ = 0;
+  // Disabled until enable_aux() runs again; capacity is kept so a pooled
+  // provenance-on context re-enables without reallocating.
+  aux_.clear();
 }
 
-void ShadowTable::insert_or_assign(LineAddr line, FillOrigin origin) {
+void ShadowTable::enable_aux() {
+  aux_.assign(slots_.size(), ShadowAux{});
+}
+
+void ShadowTable::insert_or_assign(LineAddr line, FillOrigin origin,
+                                   const ShadowAux* aux) {
   std::size_t i = home_of(line);
   while (slots_[i].occupied) {
     if (slots_[i].line == line) {
       slots_[i].origin = origin;
+      if (aux != nullptr && !aux_.empty()) aux_[i] = *aux;
       return;
     }
     i = (i + 1) & mask_;
   }
   slots_[i] = Slot{.line = line, .origin = origin, .occupied = true};
+  if (aux != nullptr && !aux_.empty()) aux_[i] = *aux;
   ++size_;
 }
 
-bool ShadowTable::erase(LineAddr line) {
+bool ShadowTable::erase(LineAddr line, ShadowAux* aux_out) {
   std::size_t i = home_of(line);
   while (slots_[i].occupied) {
     if (slots_[i].line == line) {
+      if (aux_out != nullptr && !aux_.empty()) *aux_out = aux_[i];
       erase_at(i);
       --size_;
       return true;
@@ -78,6 +89,7 @@ void ShadowTable::erase_at(std::size_t hole) {
                                  : (home <= j || home > hole);
     if (stays) continue;
     slots_[hole] = slots_[j];
+    if (!aux_.empty()) aux_[hole] = aux_[j];
     slots_[j].occupied = false;
     hole = j;
   }
@@ -124,7 +136,10 @@ std::uint64_t PollutionTracker::polluted_set_count() const {
   return n;
 }
 
-void PollutionTracker::on_eviction(const Eviction& ev) {
+void PollutionTracker::enable_shadow_aux() { shadow_.enable_aux(); }
+
+void PollutionTracker::on_eviction_impl(const Eviction& ev,
+                                        const ShadowAux* aux) {
   ++stats_.total_evictions;
   const bool evictor_is_prefetch =
       ev.replaced_by_origin == FillOrigin::kHelper ||
@@ -157,11 +172,11 @@ void PollutionTracker::on_eviction(const Eviction& ev) {
   if (shadow_order_.push(ev.victim.line, &dropped)) {
     shadow_.erase(dropped);
   }
-  shadow_.insert_or_assign(ev.victim.line, ev.replaced_by_origin);
+  shadow_.insert_or_assign(ev.victim.line, ev.replaced_by_origin, aux);
 }
 
-bool PollutionTracker::on_demand_miss(LineAddr line) {
-  if (!shadow_.erase(line)) return false;
+bool PollutionTracker::on_demand_miss(LineAddr line, ShadowAux* aux_out) {
+  if (!shadow_.erase(line, aux_out)) return false;
   ++stats_.case1_reuse_displaced;
   attribute(line);
   return true;

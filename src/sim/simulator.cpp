@@ -33,6 +33,15 @@ void surface_run_telemetry(const SimResult& result) {
                    result.pollution.case2_helper_displaced);
   telemetry::count(Counter::kPollutionCase3,
                    result.pollution.case3_hw_displaced);
+  if (result.provenance.enabled) {
+    const ProvenanceSummary& p = result.provenance;
+    telemetry::count(Counter::kPrefetchFillsTracked, p.tracked_fills);
+    telemetry::count(Counter::kPrefetchFateUsedTimely, p.used_timely);
+    telemetry::count(Counter::kPrefetchFateUsedLate, p.used_late);
+    telemetry::count(Counter::kPrefetchFateEvictedUnused, p.evicted_unused);
+    telemetry::count(Counter::kPrefetchFatePolluting, p.polluting);
+    telemetry::count(Counter::kPrefetchFateResidentUnused, p.resident_unused);
+  }
 }
 
 }  // namespace
@@ -61,6 +70,20 @@ void CmpSimulator::reset(const std::vector<CoreStream>& streams) {
     pollution_->reset(config_.shadow_capacity, config_.l2);
   } else {
     pollution_.emplace(config_.shadow_capacity, config_.l2);
+  }
+  if (config_.provenance) {
+    // Live records are slot-indexed: one per resident L2 line, exact. The
+    // victim shadow rides the pollution tracker's table as an aux sidecar,
+    // so provenance itself keeps no hash table at all.
+    const std::size_t l2_lines = config_.l2.num_sets() * config_.l2.ways();
+    if (provenance_) {
+      provenance_->reset(l2_lines);
+    } else {
+      provenance_.emplace(l2_lines);
+    }
+    pollution_->enable_shadow_aux();
+  } else {
+    provenance_.reset();
   }
   hw_prefetches_issued_ = 0;
   occupancy_ = OccupancySeries{};
@@ -228,6 +251,11 @@ SimResult CmpSimulator::run_bound() {
   result.occupancy = occupancy_;
   result.polluted_set_count = pollution_->polluted_set_count();
   result.top_polluted_sets = pollution_->top_polluted_sets(16);
+  if (provenance_) {
+    // Snapshot, not drain: a warm continuation keeps accumulating, so the
+    // still-live fills are classified provisionally each time.
+    result.provenance = provenance_->snapshot(pollution_->per_set());
+  }
   return result;
 }
 
@@ -409,9 +437,25 @@ void CmpSimulator::drain_l2(Cycle now) {
     // cases 2/3.
     const FillOrigin origin =
         fill.demand_merged ? FillOrigin::kDemand : fill.origin;
-    if (auto evicted = l2_->fill(fill.line, origin, fill.core, fill.fill_time)) {
+    std::uint32_t slot = Cache::kNoSlot;
+    if (auto evicted = l2_->fill(fill.line, origin, fill.core, fill.fill_time,
+                                 provenance_ ? &slot : nullptr)) {
       if (evicted->victim.dirty) memory_->writeback(fill.fill_time);
-      pollution_->on_eviction(*evicted);
+      if (provenance_) {
+        // The displacement metadata rides the pollution shadow's own insert
+        // as a ShadowAux — provenance does no hash work of its own. Victim
+        // record retires before the incoming fill's record reuses the slot.
+        pollution_->on_eviction(*evicted,
+                                provenance_->eviction_aux(evicted->slot));
+        provenance_->on_evicted_record(evicted->slot);
+      } else {
+        pollution_->on_eviction(*evicted);
+      }
+    }
+    if (provenance_ && fill.origin != FillOrigin::kDemand) {
+      // Raw (pre-merge-upgrade) origin: a merged prefetch fill is the
+      // used_late fate at install time, never a live record.
+      provenance_->on_fill(slot, fill.origin, fill.demand_merged);
     }
     if (fill.write) l2_->mark_dirty(fill.line);  // write-allocate installs dirty
   }
@@ -429,6 +473,11 @@ Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
   const Cycle t = start + config_.l1_latency;
   drain_l2(t);
   ++core.metrics.l2_lookups;
+  // Provenance clocks reuse in *demand* L2 lookups; helper lookups are not
+  // processor reuse (the same convention as the l2_kind downgrade below).
+  const bool track_provenance =
+      provenance_.has_value() && core.origin == FillOrigin::kDemand;
+  if (track_provenance) provenance_->on_demand_lookup();
 
   // Only the main computation thread's touches count as "used by the
   // processor": a helper hit on its own earlier fill must not clear the
@@ -438,11 +487,19 @@ Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
                                  : AccessKind::kPrefetch;
   Cycle done;
   bool was_l2_miss;
-  if (l2_->access(line, l2_kind, t)) {
+  // Demand hits are the hottest event in a run, so the tracker is consulted
+  // only on the *first* demand use of a prefetch-origin line — reported by
+  // access() from the line's own metadata in the same tag scan that serves
+  // the hit. Every other hit skips the tracker entirely.
+  std::uint32_t first_use_slot = Cache::kNoSlot;
+  if (l2_->access(line, l2_kind, t, first_use_slot)) {
     // Totally hit: data resident in the shared L2.
     ++core.metrics.totally_hits;
     was_l2_miss = false;
     done = t + config_.l2_latency;
+    if (track_provenance && first_use_slot != Cache::kNoSlot) {
+      provenance_->on_demand_hit(first_use_slot);
+    }
   } else if (const MshrEntry* inflight = mshr_->find(line)) {
     // Partially hit: request already issued, not yet serviced. Wait out the
     // residual latency only.
@@ -458,8 +515,17 @@ Cycle CmpSimulator::demand_access(CoreState& core, CoreId id,
     ++core.metrics.totally_misses;
     was_l2_miss = true;
     if (core.origin == FillOrigin::kDemand) {
-      // Case-1 pollution is defined over processor reuse only.
-      pollution_->on_demand_miss(line);
+      // Case-1 pollution is defined over processor reuse only. On a
+      // confirmed displacement reuse the pollution shadow hands back the
+      // ShadowAux the eviction attached, closing the loop to the fill.
+      if (provenance_) {
+        ShadowAux aux;
+        if (pollution_->on_demand_miss(line, &aux)) {
+          provenance_->on_confirmed_reuse(aux);
+        }
+      } else {
+        pollution_->on_demand_miss(line);
+      }
     }
     Cycle issue = t;
     while (mshr_->full()) {

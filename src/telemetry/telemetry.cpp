@@ -34,6 +34,14 @@ const char* to_string(Counter c) noexcept {
     case Counter::kPollutionCase1: return "sim.pollution_case1";
     case Counter::kPollutionCase2: return "sim.pollution_case2";
     case Counter::kPollutionCase3: return "sim.pollution_case3";
+    case Counter::kPrefetchFillsTracked: return "prefetch.fills_tracked";
+    case Counter::kPrefetchFateUsedTimely: return "prefetch.fate.used_timely";
+    case Counter::kPrefetchFateUsedLate: return "prefetch.fate.used_late";
+    case Counter::kPrefetchFateEvictedUnused:
+      return "prefetch.fate.evicted_unused";
+    case Counter::kPrefetchFatePolluting: return "prefetch.fate.polluting";
+    case Counter::kPrefetchFateResidentUnused:
+      return "prefetch.fate.resident_unused";
     case Counter::kCount: break;
   }
   return "?";

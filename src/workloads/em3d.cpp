@@ -87,12 +87,18 @@ TraceBuffer Em3dWorkload::emit_trace() const {
   const std::uint64_t ptr_row = static_cast<std::uint64_t>(arity) * kPtrBytes;
   const std::uint64_t coeff_row = static_cast<std::uint64_t>(arity) * kCoeffBytes;
   // Records per iteration: spine + per-line array touches + arity dereferences
-  // + the value store.
+  // + the value store. An upper bound also for prelude passes, which walk
+  // fewer dependencies per node.
   const std::uint64_t per_iter = 2 + (ptr_row + kLineBytes - 1) / kLineBytes +
                                  (coeff_row + kLineBytes - 1) / kLineBytes + arity;
   trace.reserve(static_cast<std::size_t>(per_iter) * n * config_.passes);
 
   for (std::uint32_t pass = 0; pass < config_.passes; ++pass) {
+    // Late-tight-phase fixture: non-final passes walk a dependency prefix.
+    const bool prelude =
+        config_.prelude_arity != 0 && pass + 1 < config_.passes;
+    const std::uint32_t pass_arity =
+        prelude ? std::min(config_.prelude_arity, arity) : arity;
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint32_t t = pass * n + i;
       // Spine: follow nodelist to this node and read from_count/from_values.
@@ -101,7 +107,7 @@ TraceBuffer Em3dWorkload::emit_trace() const {
       const Addr ptr_base = from_ptrs_base_ + static_cast<Addr>(i) * ptr_row;
       const Addr coeff_base = coeffs_base_ + static_cast<Addr>(i) * coeff_row;
       const std::uint32_t* deps = targets_of(i);
-      for (std::uint32_t j = 0; j < arity; ++j) {
+      for (std::uint32_t j = 0; j < pass_arity; ++j) {
         // The pointer and coefficient arrays are read sequentially; one trace
         // record per touched line models their perfect spatial locality.
         const Addr ptr_addr = ptr_base + static_cast<Addr>(j) * kPtrBytes;

@@ -35,6 +35,14 @@ struct Em3dConfig {
   /// Place nodes in memory in shuffled order relative to list order, the way
   /// repeated malloc/free churn scatters a real linked structure.
   bool shuffle_placement = true;
+  /// When nonzero, every pass except the LAST walks only
+  /// min(prelude_arity, arity) dependencies per node — a low-pressure prelude
+  /// (think: initialization sweeps that touch a subset of the graph) followed
+  /// by the full-arity pressured phase. This is the late-tight-phase fixture:
+  /// the whole-run Set-Affinity bound is dragged down by the hot final pass,
+  /// while per-phase capping can relax the quiet prelude. 0 (default) keeps
+  /// every pass at full arity, emitting exactly the classic trace.
+  std::uint32_t prelude_arity = 0;
 
   /// Paper Table II input: "4*10^5 nodes, arity 128".
   static Em3dConfig paper_scale() {

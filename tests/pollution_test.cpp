@@ -124,6 +124,30 @@ TEST(PollutionTest, PerSetAttribution) {
   EXPECT_EQ(top[0].second, 2u);
 }
 
+TEST(PollutionTest, TopPollutedSetsTieBreaksByAscendingSetIndex) {
+  // Geometry 1024B / 2-way / 64B -> 8 sets; line l maps to set l % 8.
+  PollutionTracker t(64, CacheGeometry(1024, 2, 64));
+  // Equal counts in sets 6, 2, and 4 (insertion order deliberately
+  // scrambled), and a clear winner in set 5.
+  for (const LineAddr line : {6, 2, 4}) {
+    t.on_eviction(
+        make_eviction(line, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  }
+  t.on_eviction(make_eviction(5, FillOrigin::kHelper, false, FillOrigin::kHelper));
+  t.on_eviction(
+      make_eviction(13, FillOrigin::kHelper, false, FillOrigin::kHelper));
+
+  // Descending count first, then ascending set index for equal counts —
+  // pinned so heatmap artifacts are byte-stable across platforms and
+  // standard-library sort implementations.
+  const auto top = t.top_polluted_sets(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], (std::pair<std::uint64_t, std::uint64_t>{5, 2}));
+  EXPECT_EQ(top[1], (std::pair<std::uint64_t, std::uint64_t>{2, 1}));
+  EXPECT_EQ(top[2], (std::pair<std::uint64_t, std::uint64_t>{4, 1}));
+  EXPECT_EQ(top[3], (std::pair<std::uint64_t, std::uint64_t>{6, 1}));
+}
+
 TEST(PollutionTest, TopPollutedSetsHandlesFewerThanRequested) {
   PollutionTracker t(64, CacheGeometry(1024, 2, 64));
   EXPECT_TRUE(t.top_polluted_sets(5).empty());
